@@ -1,0 +1,60 @@
+// Shared helpers for the experiment-reproduction binaries.
+//
+// Each bench regenerates one exhibit of the paper (a figure or table) at the
+// paper's scale: a 500-node network, 10,000 articles, 50,000 queries from the
+// realistic generator. Helpers here provide that canonical configuration and
+// lightweight table formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace dhtidx::bench {
+
+/// The evaluation setup of Section V-E.
+inline sim::SimulationConfig paper_config() {
+  sim::SimulationConfig config;
+  config.nodes = 500;
+  config.queries = 50000;
+  config.corpus.articles = 10000;
+  config.corpus.authors = 2800;   // DBLP-like ~3.5 articles per author
+  config.corpus.conferences = 60;
+  config.seed = 7;
+  return config;
+}
+
+/// Section-header banner.
+inline void banner(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '=').c_str());
+}
+
+/// Prints one row of a fixed-width table.
+inline void row(const std::string& label, const std::vector<std::string>& cells,
+                int label_width = 22, int cell_width = 12) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const std::string& cell : cells) std::printf(" %*s", cell_width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double value, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+inline std::string fmt_int(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+/// Percent with one decimal.
+inline std::string fmt_pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * fraction);
+  return buf;
+}
+
+}  // namespace dhtidx::bench

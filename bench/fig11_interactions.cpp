@@ -1,0 +1,47 @@
+// Figure 11: average number of user-system interactions required to find
+// data, for the three indexing schemes under each shortcut/cache policy.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace dhtidx;
+using namespace dhtidx::bench;
+
+int main() {
+  banner("Figure 11: Average interactions per query (3 schemes x cache policies)");
+  sim::SimulationConfig base = paper_config();
+  const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
+
+  struct Policy {
+    std::string label;
+    index::CachePolicy policy;
+    std::size_t capacity;
+  };
+  const Policy policies[] = {
+      {"No Cache", index::CachePolicy::kNone, 0},
+      {"Single Cache", index::CachePolicy::kSingle, 0},
+      {"LRU 10 Keys", index::CachePolicy::kLru, 10},
+      {"LRU 20 Keys", index::CachePolicy::kLru, 20},
+      {"LRU 30 Keys", index::CachePolicy::kLru, 30},
+  };
+
+  row("policy", {"simple", "flat", "complex"});
+  for (const Policy& p : policies) {
+    std::vector<std::string> cells;
+    for (const index::SchemeKind scheme :
+         {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
+      sim::SimulationConfig config = base;
+      config.scheme = scheme;
+      config.policy = p.policy;
+      config.cache_capacity = p.capacity;
+      cells.push_back(fmt(run_simulation(config, &corpus).avg_interactions));
+    }
+    row(p.label, cells);
+  }
+  std::printf(
+      "\nPaper reference (Figure 11): no-cache about S=3.4 F=2.4 C=3.6, caching\n"
+      "lowers all three, larger LRU capacities lower them further, and the\n"
+      "ordering flat < simple < complex holds throughout. The multi-cache\n"
+      "policy is omitted in the figure because it matches single-cache.\n");
+  return 0;
+}

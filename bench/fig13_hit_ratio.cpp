@@ -1,0 +1,50 @@
+// Figure 13: cache efficiency -- the distributed hit ratio per scheme and
+// cache policy, plus the share of hits occurring on the first node of the
+// index chain (Section V-E e reports 86% / 99.9% / 84% for S/F/C).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace dhtidx;
+using namespace dhtidx::bench;
+
+int main() {
+  banner("Figure 13: Cache efficiency (distributed hit ratio)");
+  sim::SimulationConfig base = paper_config();
+  const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
+
+  struct Policy {
+    std::string label;
+    index::CachePolicy policy;
+    std::size_t capacity;
+  };
+  const Policy policies[] = {
+      {"Multi Cache", index::CachePolicy::kMulti, 0},
+      {"Single Cache", index::CachePolicy::kSingle, 0},
+      {"LRU 10 Keys", index::CachePolicy::kLru, 10},
+      {"LRU 20 Keys", index::CachePolicy::kLru, 20},
+      {"LRU 30 Keys", index::CachePolicy::kLru, 30},
+  };
+
+  std::printf("%-14s %-9s %12s %18s\n", "policy", "scheme", "hit ratio",
+              "hits @ first node");
+  for (const Policy& p : policies) {
+    for (const index::SchemeKind scheme :
+         {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
+      sim::SimulationConfig config = base;
+      config.scheme = scheme;
+      config.policy = p.policy;
+      config.cache_capacity = p.capacity;
+      const sim::SimulationResults r = run_simulation(config, &corpus);
+      std::printf("%-14s %-9s %11.1f%% %17.1f%%\n", p.label.c_str(),
+                  index::to_string(scheme).c_str(), 100.0 * r.hit_ratio,
+                  100.0 * r.first_node_hit_share);
+    }
+  }
+  std::printf(
+      "\nPaper reference (Figure 13): unbounded policies reach ~60-70%% hits;\n"
+      "multi-cache is only marginally better than single-cache because most\n"
+      "hits occur at the first node of the chain (86%% simple, 99.9%% flat,\n"
+      "84%% complex); LRU 10 retains more than half the unbounded efficiency.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 14: average number of cached keys (shortcuts) per node, with the
+// per-node maxima and the full/empty cache fractions reported in
+// Section V-E f.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace dhtidx;
+using namespace dhtidx::bench;
+
+int main() {
+  banner("Figure 14: Shortcuts (cached keys) per node");
+  sim::SimulationConfig base = paper_config();
+  const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
+
+  struct Policy {
+    std::string label;
+    index::CachePolicy policy;
+    std::size_t capacity;
+  };
+  const Policy policies[] = {
+      {"Multi Cache", index::CachePolicy::kMulti, 0},
+      {"Single Cache", index::CachePolicy::kSingle, 0},
+      {"LRU 10 Keys", index::CachePolicy::kLru, 10},
+      {"LRU 20 Keys", index::CachePolicy::kLru, 20},
+      {"LRU 30 Keys", index::CachePolicy::kLru, 30},
+  };
+
+  std::printf("%-14s %-9s %10s %8s %8s %8s %12s\n", "policy", "scheme", "avg/node",
+              "max", "full", "empty", "regular/node");
+  for (const Policy& p : policies) {
+    for (const index::SchemeKind scheme :
+         {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
+      sim::SimulationConfig config = base;
+      config.scheme = scheme;
+      config.policy = p.policy;
+      config.cache_capacity = p.capacity;
+      const sim::SimulationResults r = run_simulation(config, &corpus);
+      std::printf("%-14s %-9s %10.1f %8zu %7.1f%% %7.1f%% %12.1f\n", p.label.c_str(),
+                  index::to_string(scheme).c_str(), r.avg_cached_keys_per_node,
+                  r.max_cached_keys, 100.0 * r.full_cache_fraction,
+                  100.0 * r.empty_cache_fraction, r.avg_regular_keys_per_node);
+    }
+  }
+  std::printf(
+      "\nPaper reference (Figure 14 and Section V-E f): single-cache is about\n"
+      "twice as space-efficient as multi-cache; flat is essentially unaffected\n"
+      "by placement (its chains have one index node); maxima ~253-413 keys for\n"
+      "the unbounded policies; 72%%/51%%/38%% of caches full under LRU 10/20/30\n"
+      "and ~4.4%% completely empty; ~155-195 regular keys per node.\n");
+  return 0;
+}

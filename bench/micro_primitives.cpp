@@ -1,0 +1,148 @@
+// Micro-benchmarks for the primitive operations every lookup is built from:
+// hashing, query parsing/normalization, the covering test, substrate
+// resolution, index operations and cache operations.
+#include <benchmark/benchmark.h>
+
+#include "biblio/corpus.hpp"
+#include "common/sha1.hpp"
+#include "dht/chord.hpp"
+#include "dht/ring.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+#include "query/query.hpp"
+
+namespace {
+
+using namespace dhtidx;
+
+void BM_Sha1Hash(benchmark::State& state) {
+  const std::string input(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(input));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1Hash)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_QueryParse(benchmark::State& state) {
+  const std::string text =
+      "/article[author[first/John][last/Smith]][title/TCP][conf/SIGCOMM][year/1989]";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::Query::parse(text));
+  }
+}
+BENCHMARK(BM_QueryParse);
+
+void BM_QueryCanonicalAndKey(benchmark::State& state) {
+  for (auto _ : state) {
+    query::Query q{"article"};
+    q.add_field("author/first", "John").add_field("author/last", "Smith");
+    q.add_field("conf", "SIGCOMM");
+    benchmark::DoNotOptimize(q.key());
+  }
+}
+BENCHMARK(BM_QueryCanonicalAndKey);
+
+void BM_QueryCovers(benchmark::State& state) {
+  const query::Query broad = query::Query::parse("/article/author/last/Smith");
+  const query::Query specific = query::Query::parse(
+      "/article[author[first/John][last/Smith]][title/TCP][conf/SIGCOMM][year/1989]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broad.covers(specific));
+  }
+}
+BENCHMARK(BM_QueryCovers);
+
+void BM_QueryMatches(benchmark::State& state) {
+  biblio::Article a;
+  a.first_name = "John";
+  a.last_name = "Smith";
+  a.title = "TCP";
+  a.conference = "SIGCOMM";
+  a.year = 1989;
+  a.file_bytes = 1;
+  const xml::Element doc = a.descriptor();
+  const query::Query q = query::Query::parse("/article/author/last/Smith");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.matches(doc));
+  }
+}
+BENCHMARK(BM_QueryMatches);
+
+void BM_RingLookup(benchmark::State& state) {
+  dht::Ring ring = dht::Ring::with_nodes(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.lookup(Id::from_uint64(i++ * 0x9E3779B97F4A7C15ull)));
+  }
+}
+BENCHMARK(BM_RingLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ChordLookup(benchmark::State& state) {
+  dht::ChordNetwork net{3};
+  for (int i = 0; i < state.range(0); ++i) {
+    net.add_node("n" + std::to_string(i));
+    net.stabilize_round(4);
+  }
+  net.stabilize_until_converged();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.lookup(Id::hash("k" + std::to_string(i++))));
+  }
+}
+BENCHMARK(BM_ChordLookup)->Arg(32)->Arg(128);
+
+void BM_SchemeMappings(benchmark::State& state) {
+  biblio::Article a;
+  a.first_name = "John";
+  a.last_name = "Smith";
+  a.title = "Scalable distributed indexing";
+  a.conference = "ICDCS";
+  a.year = 2004;
+  a.file_bytes = 1;
+  const query::Query msd = a.msd();
+  const index::IndexingScheme scheme = index::IndexingScheme::complex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.mappings_for(msd));
+  }
+}
+BENCHMARK(BM_SchemeMappings);
+
+void BM_ShortcutCacheInsertFind(benchmark::State& state) {
+  index::ShortcutCache cache{static_cast<std::size_t>(state.range(0))};
+  const query::Query target = query::Query::parse("/article[title=T][year=2000]");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const query::Query source =
+        query::Query::parse("/article/title/T" + std::to_string(i++ % 1000));
+    cache.insert(source, target);
+    benchmark::DoNotOptimize(cache.find(source));
+  }
+}
+BENCHMARK(BM_ShortcutCacheInsertFind)->Arg(0)->Arg(30);
+
+void BM_ResolveAuthorQuery(benchmark::State& state) {
+  biblio::CorpusConfig config;
+  config.articles = 1000;
+  config.authors = 300;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+  dht::Ring ring = dht::Ring::with_nodes(100);
+  net::TrafficLedger ledger;
+  storage::DhtStore store{ring, ledger};
+  index::IndexService service{ring, ledger};
+  index::IndexBuilder builder{service, store, index::IndexingScheme::simple()};
+  for (const auto& a : corpus.articles()) {
+    builder.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+  }
+  index::LookupEngine engine{service, store, {index::CachePolicy::kNone}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = corpus.article(i++ % corpus.size());
+    benchmark::DoNotOptimize(engine.resolve(a.author_query(), a.msd()));
+  }
+}
+BENCHMARK(BM_ResolveAuthorQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

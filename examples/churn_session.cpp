@@ -1,0 +1,119 @@
+// A deployment-style timeline over the full Chord protocol stack: nodes
+// join and crash while users keep publishing, querying, republishing and
+// snapshotting. Demonstrates the operational surface of the library --
+// stabilization, rebalancing, soft-state expiry, replication, persistence --
+// working together.
+#include <cstdio>
+
+#include "biblio/corpus.hpp"
+#include "common/bytes.hpp"
+#include "dht/chord.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+#include "persist/snapshot.hpp"
+#include "workload/generator.hpp"
+
+using namespace dhtidx;
+
+namespace {
+
+std::size_t resolvable(index::LookupEngine& engine, const biblio::Corpus& corpus) {
+  std::size_t found = 0;
+  for (const auto& a : corpus.articles()) {
+    try {
+      if (engine.resolve(a.author_query(), a.msd()).found) ++found;
+    } catch (const net::RpcError&) {
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== t=0  bootstrap a 24-node Chord ring\n");
+  dht::ChordNetwork chord{2026};
+  for (int i = 0; i < 24; ++i) {
+    chord.add_node("peer-" + std::to_string(i));
+    chord.stabilize_round();
+    chord.stabilize_round();
+  }
+  std::printf("   converged after %d extra rounds; %zu nodes live\n",
+              chord.stabilize_until_converged(), chord.size());
+
+  net::TrafficLedger traffic;
+  storage::DhtStore store{chord, traffic, /*replication=*/2};
+  index::IndexService index{chord, traffic};
+  index::IndexBuilder builder{index, store, index::IndexingScheme::simple()};
+
+  std::printf("\n== t=1  publish a 120-article database (replication factor 2)\n");
+  biblio::CorpusConfig config;
+  config.articles = 120;
+  config.authors = 40;
+  config.conferences = 10;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+  for (const auto& a : corpus.articles()) {
+    builder.index_file(a.descriptor(), a.file_name(), a.file_bytes, nullptr, /*now=*/1);
+  }
+  index::LookupEngine engine{index, store, {index::CachePolicy::kSingle}};
+  std::printf("   %zu/%zu articles resolvable\n", resolvable(engine, corpus), corpus.size());
+
+  std::printf("\n== t=2  a user session (cache warms up)\n");
+  workload::QueryGenerator generator{corpus, 99};
+  int hits = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto request = generator.next();
+    const auto outcome =
+        engine.resolve(request.query, corpus.article(request.article_index).msd());
+    if (outcome.cache_hit) ++hits;
+  }
+  std::printf("   600 queries, %.1f%% served from shortcut caches\n", hits / 6.0);
+
+  std::printf("\n== t=3  three nodes crash without warning\n");
+  auto ids = chord.node_ids();
+  for (int i = 0; i < 3; ++i) chord.crash(ids[static_cast<std::size_t>(i) * 7]);
+  const int rounds = chord.stabilize_until_converged();
+  const std::size_t moved = store.rebalance();
+  std::printf("   ring repaired in %d rounds; %zu records re-homed\n", rounds, moved);
+
+  std::printf("\n== t=4  index re-announced by the publishers, stale state expired\n");
+  // The crashed nodes took their index partitions with them conceptually;
+  // publishers republish, then everything older than the republish ages out.
+  index::IndexService fresh{chord, traffic};
+  index::IndexBuilder fresh_builder{fresh, store, index::IndexingScheme::simple()};
+  for (const auto& a : corpus.articles()) {
+    fresh_builder.republish(a.descriptor(), /*now=*/4);
+  }
+  fresh.expire(/*cutoff=*/4);
+  index::LookupEngine engine2{fresh, store, {index::CachePolicy::kSingle}};
+  std::printf("   %zu/%zu articles resolvable after repair\n",
+              resolvable(engine2, corpus), corpus.size());
+
+  std::printf("\n== t=5  snapshot the system state to disk\n");
+  const std::string path = "/tmp/dhtidx-churn-session.xml";
+  persist::save_snapshot_file(path, fresh, store);
+  std::printf("   snapshot written to %s\n", path.c_str());
+
+  std::printf("\n== t=6  cold restart: restore the snapshot onto a fresh 30-node ring\n");
+  dht::ChordNetwork reborn{777};
+  for (int i = 0; i < 30; ++i) {
+    reborn.add_node("gen2-" + std::to_string(i));
+    reborn.stabilize_round();
+    reborn.stabilize_round();
+  }
+  reborn.stabilize_until_converged();
+  net::TrafficLedger traffic2;
+  storage::DhtStore store2{reborn, traffic2, 2};
+  index::IndexService index2{reborn, traffic2};
+  const auto stats = persist::load_snapshot_file(path, index2, store2);
+  index::LookupEngine engine3{index2, store2, {index::CachePolicy::kSingle}};
+  std::printf("   restored %zu mappings and %zu records; %zu/%zu articles resolvable\n",
+              stats.mappings, stats.records, resolvable(engine3, corpus), corpus.size());
+
+  std::printf("\nTotal substrate routing: %llu messages (%s)\n",
+              static_cast<unsigned long long>(chord.routing_stats().messages() +
+                                              reborn.routing_stats().messages()),
+              format_bytes(chord.routing_stats().bytes() + reborn.routing_stats().bytes())
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Bibliographic articles: the data items of the paper's running example.
+//
+// An Article mirrors the descriptors of Figure 1: author (first/last), title,
+// conference, year, and file size. It can render itself as an XML descriptor,
+// derive its most specific query (MSD), and build the partial queries the
+// workload model issues (author-only, title-only, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "query/query.hpp"
+#include "xml/node.hpp"
+
+namespace dhtidx::biblio {
+
+/// One article in the bibliographic database.
+struct Article {
+  std::size_t id = 0;  ///< corpus-local identifier (also the popularity rank base)
+  std::string first_name;
+  std::string last_name;
+  std::string title;
+  std::string conference;
+  int year = 0;
+  std::uint64_t file_bytes = 0;  ///< size of the (virtual) article file
+
+  /// The XML descriptor (Figure 1 layout).
+  xml::Element descriptor() const;
+
+  /// The most specific query for this article's descriptor.
+  query::Query msd() const;
+
+  /// Partial queries over individual fields (used by schemes and workload).
+  query::Query author_query() const;
+  query::Query title_query() const;
+  query::Query conference_query() const;
+  query::Query year_query() const;
+  query::Query author_title_query() const;
+  query::Query author_year_query() const;
+  query::Query conference_year_query() const;
+  query::Query author_conference_query() const;
+  query::Query author_conference_year_query() const;
+
+  /// Name of the stored file ("x.pdf" in Figure 5).
+  std::string file_name() const { return "article-" + std::to_string(id) + ".pdf"; }
+
+  bool operator==(const Article&) const = default;
+};
+
+/// Parses an Article back from its descriptor. Throws ParseError when
+/// required fields are missing or malformed.
+Article article_from_descriptor(const xml::Element& descriptor);
+
+}  // namespace dhtidx::biblio

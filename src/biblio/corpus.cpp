@@ -1,0 +1,185 @@
+#include "biblio/corpus.hpp"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace dhtidx::biblio {
+
+namespace {
+
+// Name material for the synthetic author pool. Combinations of these parts
+// give ~10k distinct plausible names before the uniqueness suffix kicks in.
+constexpr const char* kFirstNames[] = {
+    "John",   "Alan",    "Maria",  "Wei",     "Anna",   "David",  "Elena",
+    "Ravi",   "Sofia",   "Peter",  "Laura",   "Kenji",  "Ingrid", "Omar",
+    "Nadia",  "Carlos",  "Grace",  "Henrik",  "Yuki",   "Pablo",  "Irene",
+    "Tomas",  "Priya",   "Marco",  "Claire",  "Dmitri", "Aisha",  "Stefan",
+    "Lucia",  "Andre",   "Mei",    "Jorge",   "Karin",  "Samuel", "Noor",
+    "Victor", "Helena",  "Akira",  "Fatima",  "Liam",
+};
+
+constexpr const char* kLastStems[] = {
+    "Smith",   "Doe",     "Garcia",  "Chen",    "Muller",  "Rossi",   "Kumar",
+    "Tanaka",  "Silva",   "Novak",   "Berg",    "Costa",   "Dubois",  "Evans",
+    "Fischer", "Gupta",   "Haddad",  "Ivanov",  "Jensen",  "Kowalski","Larsen",
+    "Moreau",  "Nakamura","Olsen",   "Petrov",  "Quinn",   "Ricci",   "Schmidt",
+    "Torres",  "Ueda",    "Vargas",  "Weber",   "Xu",      "Yamada",  "Zhang",
+    "Andersen","Bianchi", "Carvalho","Dimitrov","Eriksson",
+};
+
+constexpr const char* kVenueStems[] = {
+    "SIGCOMM", "INFOCOM", "SOSP",   "OSDI",   "PODC",  "ICDCS", "SIGMOD",
+    "VLDB",    "NSDI",    "IPTPS",  "ICNP",   "USENIX","EUROSYS","SPAA",
+    "MIDDLEWARE", "ICPP", "HPDC",   "SRDS",   "DSN",   "WWW",
+};
+
+constexpr const char* kTitleWords[] = {
+    "scalable",    "distributed", "adaptive",   "peer-to-peer", "hierarchical",
+    "efficient",   "robust",      "decentralized", "dynamic",   "incremental",
+    "indexing",    "routing",     "caching",    "lookup",       "replication",
+    "storage",     "search",      "naming",     "multicast",    "consensus",
+    "hashing",     "balancing",   "locality",   "membership",   "gossip",
+    "overlay",     "network",     "protocol",   "system",       "service",
+    "architecture","framework",   "algorithm",  "infrastructure","mechanism",
+    "analysis",    "evaluation",  "design",     "performance",  "model",
+    "congestion",  "bandwidth",   "latency",    "availability", "anonymity",
+    "streaming",   "discovery",   "federation", "semantics",    "queries",
+    "wavelets",    "tcp",         "ipv6",       "mobility",     "wireless",
+    "sensors",     "grids",       "clusters",   "transactions", "recovery",
+};
+
+std::string capitalize(std::string word) {
+  if (!word.empty() && word[0] >= 'a' && word[0] <= 'z') {
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  }
+  return word;
+}
+
+}  // namespace
+
+Corpus::Corpus(std::vector<Article> articles) : articles_(std::move(articles)) {
+  for (std::size_t i = 0; i < articles_.size(); ++i) articles_[i].id = i;
+}
+
+Corpus Corpus::generate(const CorpusConfig& config) {
+  if (config.articles == 0 || config.authors == 0 || config.conferences == 0) {
+    throw InvariantError("corpus config requires positive counts");
+  }
+  Rng rng{config.seed};
+
+  // Author pool: unique (first, last) pairs.
+  std::vector<std::pair<std::string, std::string>> authors;
+  authors.reserve(config.authors);
+  std::set<std::pair<std::string, std::string>> seen_authors;
+  while (authors.size() < config.authors) {
+    std::string first = kFirstNames[rng.next_index(std::size(kFirstNames))];
+    std::string last = kLastStems[rng.next_index(std::size(kLastStems))];
+    if (!seen_authors.emplace(first, last).second) {
+      // Disambiguate collisions with a middle-initial style suffix.
+      last += std::string(1, static_cast<char>('A' + rng.next_index(26))) + ".";
+      last = std::string{kLastStems[rng.next_index(std::size(kLastStems))]} + "-" + last;
+      if (!seen_authors.emplace(first, last).second) continue;
+    }
+    authors.emplace_back(std::move(first), std::move(last));
+  }
+
+  // Venue pool.
+  std::vector<std::string> venues;
+  venues.reserve(config.conferences);
+  for (std::size_t i = 0; i < config.conferences; ++i) {
+    std::string name = kVenueStems[i % std::size(kVenueStems)];
+    if (i >= std::size(kVenueStems)) {
+      name += "-" + std::to_string(i / std::size(kVenueStems) + 1);
+    }
+    venues.push_back(std::move(name));
+  }
+
+  const ZipfSampler author_sampler{config.authors, config.author_zipf};
+  const ZipfSampler venue_sampler{config.conferences, config.conference_zipf};
+  const int year_span = config.last_year - config.first_year + 1;
+
+  std::vector<Article> articles;
+  articles.reserve(config.articles);
+  std::unordered_set<std::string> seen_titles;
+  for (std::size_t i = 0; i < config.articles; ++i) {
+    Article a;
+    a.id = i;
+    const auto& [first, last] = authors[author_sampler.sample(rng) - 1];
+    a.first_name = first;
+    a.last_name = last;
+    a.conference = venues[venue_sampler.sample(rng) - 1];
+    // Publication years ramp up linearly toward the snapshot year, like the
+    // growth of a real archive: sample two uniforms and keep the later one.
+    const int y1 = static_cast<int>(rng.next_in(0, year_span - 1));
+    const int y2 = static_cast<int>(rng.next_in(0, year_span - 1));
+    a.year = config.first_year + std::max(y1, y2);
+    // Titles: 2-4 content words, unique across the corpus.
+    for (int attempt = 0;; ++attempt) {
+      const int words = static_cast<int>(rng.next_in(2, 4));
+      std::string title;
+      for (int w = 0; w < words; ++w) {
+        std::string word = kTitleWords[rng.next_index(std::size(kTitleWords))];
+        if (w == 0) word = capitalize(std::move(word));
+        if (w > 0) title += ' ';
+        title += word;
+      }
+      if (attempt > 8) title += " (" + std::to_string(i) + ")";
+      if (seen_titles.insert(title).second) {
+        a.title = std::move(title);
+        break;
+      }
+    }
+    // File sizes: uniform in [0.4, 1.6] x mean, so the mean matches the
+    // paper's 250 KB estimate.
+    const double factor = 0.4 + 1.2 * rng.next_double();
+    a.file_bytes = static_cast<std::uint64_t>(static_cast<double>(config.mean_file_bytes) * factor);
+    articles.push_back(std::move(a));
+  }
+  return Corpus{std::move(articles)};
+}
+
+std::size_t Corpus::distinct_authors() const {
+  std::set<std::pair<std::string, std::string>> authors;
+  for (const Article& a : articles_) authors.emplace(a.first_name, a.last_name);
+  return authors.size();
+}
+
+std::size_t Corpus::distinct_conferences() const {
+  std::set<std::string> venues;
+  for (const Article& a : articles_) venues.insert(a.conference);
+  return venues.size();
+}
+
+std::vector<const Article*> Corpus::by_author(const std::string& first,
+                                              const std::string& last) const {
+  std::vector<const Article*> out;
+  for (const Article& a : articles_) {
+    if (a.first_name == first && a.last_name == last) out.push_back(&a);
+  }
+  return out;
+}
+
+std::string Corpus::to_xml() const {
+  xml::Element root{"dblp"};
+  for (const Article& a : articles_) root.add_child(a.descriptor());
+  return xml::write(root, {.pretty = true, .declaration = true});
+}
+
+Corpus Corpus::from_xml(std::string_view document) {
+  const xml::Element root = xml::parse(document);
+  if (root.name() != "dblp") throw ParseError("corpus root must be <dblp>");
+  std::vector<Article> articles;
+  articles.reserve(root.children().size());
+  for (const xml::Element& child : root.children()) {
+    articles.push_back(article_from_descriptor(child));
+  }
+  return Corpus{std::move(articles)};
+}
+
+}  // namespace dhtidx::biblio

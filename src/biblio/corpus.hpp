@@ -1,0 +1,67 @@
+// Synthetic bibliographic corpus.
+//
+// The paper builds its database from the DBLP archive (115,879 article
+// entries, of which 10,000 are used in simulation). DBLP is not available
+// offline, so this generator produces a corpus with the same *structural*
+// properties the evaluation depends on: a fixed set of descriptor fields,
+// Zipf-distributed author productivity (a few prolific authors, a long tail),
+// a skewed conference distribution, unique titles, and file sizes around the
+// 250 KB average of Section V-B. See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "biblio/article.hpp"
+#include "common/rng.hpp"
+
+namespace dhtidx::biblio {
+
+/// Parameters of the synthetic corpus.
+struct CorpusConfig {
+  std::size_t articles = 10000;
+  std::size_t authors = 2800;      ///< distinct authors (DBLP-like ratio ~3.5 papers/author)
+  std::size_t conferences = 60;    ///< distinct venues
+  double author_zipf = 0.85;       ///< productivity skew (1 = classic Zipf)
+  double conference_zipf = 0.7;
+  int first_year = 1980;
+  int last_year = 2003;            ///< the paper's DBLP snapshot is Jan 2003
+  std::uint64_t mean_file_bytes = 250000;  ///< Section V-B estimate
+  std::uint64_t seed = 42;
+};
+
+/// An immutable collection of articles plus lookup helpers.
+class Corpus {
+ public:
+  /// Generates a deterministic corpus from the config.
+  static Corpus generate(const CorpusConfig& config);
+
+  /// Builds a corpus from externally supplied articles (e.g. parsed XML).
+  explicit Corpus(std::vector<Article> articles);
+
+  const std::vector<Article>& articles() const { return articles_; }
+  const Article& article(std::size_t index) const { return articles_.at(index); }
+  std::size_t size() const { return articles_.size(); }
+
+  /// Number of distinct authors ("first last" pairs).
+  std::size_t distinct_authors() const;
+
+  /// Number of distinct conferences.
+  std::size_t distinct_conferences() const;
+
+  /// Articles written by the given author.
+  std::vector<const Article*> by_author(const std::string& first,
+                                        const std::string& last) const;
+
+  /// Serializes the whole corpus as a DBLP-style XML document.
+  std::string to_xml() const;
+
+  /// Parses a corpus from the to_xml() format.
+  static Corpus from_xml(std::string_view document);
+
+ private:
+  std::vector<Article> articles_;
+};
+
+}  // namespace dhtidx::biblio

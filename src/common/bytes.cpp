@@ -1,0 +1,25 @@
+#include "common/bytes.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace dhtidx {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1000.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1000.0;
+    ++unit;
+  }
+  std::array<char, 32> buf;
+  if (unit == 0) {
+    std::snprintf(buf.data(), buf.size(), "%llu B", static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f %s", value, kUnits[unit]);
+  }
+  return std::string{buf.data()};
+}
+
+}  // namespace dhtidx

@@ -1,0 +1,34 @@
+// Byte accounting helpers for the traffic and storage measurements of
+// Figures 12 and 14 and the Section V-B storage comparison.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dhtidx {
+
+/// Running byte counter with category-free add; cheap enough to keep one per
+/// traffic class.
+class ByteCounter {
+ public:
+  void add(std::uint64_t bytes) {
+    total_ += bytes;
+    ++events_;
+  }
+  void reset() {
+    total_ = 0;
+    events_ = 0;
+  }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t events() const { return events_; }
+  double mean() const { return events_ == 0 ? 0.0 : static_cast<double>(total_) / static_cast<double>(events_); }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+/// Human-readable size, e.g. "1.4 MB". Decimal units, two significant digits.
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace dhtidx

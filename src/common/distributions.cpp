@@ -1,0 +1,98 @@
+#include "common/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dhtidx {
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  if (weights.empty()) throw InvariantError("DiscreteSampler needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw InvariantError("DiscreteSampler weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (total <= 0.0) throw InvariantError("DiscreteSampler weights must sum to > 0");
+  cumulative_.reserve(weights.size());
+  double acc = 0.0;
+  for (const double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding drift
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(std::distance(cumulative_.begin(), it));
+}
+
+double DiscreteSampler::probability(std::size_t i) const {
+  if (i >= cumulative_.size()) return 0.0;
+  return i == 0 ? cumulative_[0] : cumulative_[i] - cumulative_[i - 1];
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw InvariantError("ZipfSampler needs n > 0");
+  cumulative_.reserve(n);
+  double acc = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), exponent);
+    cumulative_.push_back(acc);
+  }
+  for (double& c : cumulative_) c /= acc;
+  cumulative_.back() = 1.0;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(std::distance(cumulative_.begin(), it)) + 1;
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  if (rank == 0 || rank > cumulative_.size()) return 0.0;
+  return rank == 1 ? cumulative_[0] : cumulative_[rank - 1] - cumulative_[rank - 2];
+}
+
+PowerLawPopularity::PowerLawPopularity(std::size_t n, double c, double alpha)
+    : n_(n), c_(c), alpha_(alpha) {
+  if (n == 0) throw InvariantError("PowerLawPopularity needs n > 0");
+  if (c <= 0.0 || alpha <= 0.0) {
+    throw InvariantError("PowerLawPopularity parameters must be positive");
+  }
+  normalizer_ = c_ * std::pow(static_cast<double>(n_), alpha_);
+  // With the paper's parameters the normalizer is ~0.9986: the raw fit
+  // already nearly reaches 1 at rank 10,000. Dividing by it "adapts the
+  // parameters to match the finite population" exactly as Section V-C does.
+}
+
+double PowerLawPopularity::cdf(std::size_t rank) const {
+  if (rank == 0) return 0.0;
+  if (rank >= n_) return 1.0;
+  return c_ * std::pow(static_cast<double>(rank), alpha_) / normalizer_;
+}
+
+double PowerLawPopularity::probability(std::size_t rank) const {
+  if (rank == 0 || rank > n_) return 0.0;
+  return cdf(rank) - cdf(rank - 1);
+}
+
+std::size_t PowerLawPopularity::sample(Rng& rng) const {
+  // Inverse-transform sampling on the continuous extension of the CDF:
+  // F(x) = c x^alpha / Z  =>  x = (u Z / c)^(1/alpha), then round up to the
+  // containing integer rank.
+  const double u = rng.next_double();
+  const double x = std::pow(u * normalizer_ / c_, 1.0 / alpha_);
+  auto rank = static_cast<std::size_t>(std::ceil(x));
+  if (rank < 1) rank = 1;
+  if (rank > n_) rank = n_;
+  return rank;
+}
+
+}  // namespace dhtidx

@@ -1,0 +1,84 @@
+// Samplers for the skewed distributions the paper's evaluation relies on.
+//
+// Section V-C fits article popularity to a power law whose complementary
+// cumulative distribution function over ranks 1..N is
+//     Fbar(i) = 1 - c * i^alpha          (paper: c = 0.063, alpha = 0.3)
+// PowerLawPopularity implements exactly that family. ZipfSampler provides the
+// classical Zipf(s) law used for author/conference sharing in the synthetic
+// corpus, and DiscreteSampler handles arbitrary categorical distributions
+// (e.g. the BibFinder query-structure frequencies of Figure 7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dhtidx {
+
+/// Categorical distribution over indices 0..n-1 with given weights.
+class DiscreteSampler {
+ public:
+  /// Weights need not be normalized; they must be non-negative with a
+  /// positive sum. Throws InvariantError otherwise.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability assigned to index i (normalized).
+  double probability(std::size_t i) const;
+
+  std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // normalized, strictly increasing, last == 1
+};
+
+/// Zipf distribution over ranks 1..n: P(i) proportional to 1 / i^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Returns a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+
+  double probability(std::size_t rank) const;
+
+  std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// The paper's fitted power-law popularity over article ranks 1..n:
+/// CDF F(i) = c * i^alpha, clamped so F(n) == 1 (the paper adapts the
+/// parameters "to match the finite population of articles").
+class PowerLawPopularity {
+ public:
+  /// Defaults are the paper's fit: c = 0.063, alpha = 0.3, n = 10000.
+  explicit PowerLawPopularity(std::size_t n = 10000, double c = 0.063, double alpha = 0.3);
+
+  /// Returns a rank in [1, n], rank 1 being the most popular article.
+  std::size_t sample(Rng& rng) const;
+
+  /// F(i): probability that a request targets rank <= i.
+  double cdf(std::size_t rank) const;
+
+  /// Fbar(i) = 1 - F(i), the curve plotted in Figure 10.
+  double ccdf(std::size_t rank) const { return 1.0 - cdf(rank); }
+
+  /// Probability mass of a single rank.
+  double probability(std::size_t rank) const;
+
+  std::size_t size() const { return n_; }
+  double c() const { return c_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::size_t n_;
+  double c_;
+  double alpha_;
+  double normalizer_;  // F(n) before clamping; divides cdf so F(n) == 1
+};
+
+}  // namespace dhtidx

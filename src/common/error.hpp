@@ -1,0 +1,37 @@
+// Error types shared across the dhtidx libraries.
+//
+// All recoverable failures in the library surface as exceptions derived from
+// dhtidx::Error, so callers can catch the whole family with one handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dhtidx {
+
+/// Base class of every exception thrown by the dhtidx libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input (XML documents, XPath query strings, config values).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A lookup addressed a key or node that does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error("not found: " + what) {}
+};
+
+/// An operation violated a protocol-level precondition (e.g. inserting an
+/// index mapping whose source does not cover its target).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error("invariant violation: " + what) {}
+};
+
+}  // namespace dhtidx

@@ -1,0 +1,58 @@
+#include "common/fit.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dhtidx {
+
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) throw InvariantError("fit_line: size mismatch");
+  const std::size_t n = xs.size();
+  if (n < 2) throw InvariantError("fit_line: need at least two points");
+
+  double sum_x = 0.0, sum_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+  }
+  const double mean_x = sum_x / static_cast<double>(n);
+  const double mean_y = sum_y / static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw InvariantError("fit_line: degenerate x values");
+
+  LineFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+PowerLawFit fit_power_law(const std::vector<double>& probabilities_by_rank) {
+  std::vector<double> log_rank;
+  std::vector<double> log_p;
+  log_rank.reserve(probabilities_by_rank.size());
+  log_p.reserve(probabilities_by_rank.size());
+  for (std::size_t i = 0; i < probabilities_by_rank.size(); ++i) {
+    const double p = probabilities_by_rank[i];
+    if (p <= 0.0) continue;
+    log_rank.push_back(std::log(static_cast<double>(i + 1)));
+    log_p.push_back(std::log(p));
+  }
+  const LineFit line = fit_line(log_rank, log_p);
+  PowerLawFit fit;
+  fit.exponent = line.slope;
+  fit.k = std::exp(line.intercept);
+  fit.r_squared = line.r_squared;
+  return fit;
+}
+
+}  // namespace dhtidx

@@ -1,0 +1,36 @@
+// Least-squares fitting helpers.
+//
+// Section V-C derives the popularity power law by fitting a line to the
+// log-log plot of BibFinder author probabilities "using the minimum square
+// method". fit_power_law reproduces that procedure: it regresses log(p) on
+// log(rank) and reports the implied p = k * rank^exponent model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dhtidx {
+
+/// Result of an ordinary least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination
+};
+
+/// Fits a straight line to (x, y) pairs. Requires at least two points.
+LineFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// A fitted power law p(rank) = k * rank^exponent.
+struct PowerLawFit {
+  double k = 0.0;
+  double exponent = 0.0;  // negative for decaying popularity curves
+  double r_squared = 0.0;
+};
+
+/// Fits a power law to per-rank probabilities (rank 1 first) by linear
+/// regression in log-log space. Zero probabilities are skipped, matching the
+/// usual treatment of empirical tails.
+PowerLawFit fit_power_law(const std::vector<double>& probabilities_by_rank);
+
+}  // namespace dhtidx

@@ -1,0 +1,104 @@
+#include "common/id.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dhtidx {
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Id Id::from_hex(std::string_view hex) {
+  if (hex.size() != 2 * kBytes) {
+    throw ParseError("Id hex string must be 40 characters, got " +
+                     std::to_string(hex.size()));
+  }
+  std::array<std::uint8_t, kBytes> bytes{};
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    const int hi = hex_value(hex[2 * i]);
+    const int lo = hex_value(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) throw ParseError("Id hex string contains non-hex character");
+    bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return Id{bytes};
+}
+
+Id Id::from_uint64(std::uint64_t v) {
+  std::array<std::uint8_t, kBytes> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[kBytes - 1 - static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return Id{bytes};
+}
+
+std::string Id::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * kBytes);
+  for (const std::uint8_t b : bytes_) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+Id Id::add_power_of_two(unsigned power) const {
+  Id result = *this;
+  // The bit `power` counts from the least significant end.
+  std::size_t byte_index = kBytes - 1 - power / 8;
+  unsigned carry = 1u << (power % 8);
+  while (carry != 0) {
+    const unsigned sum = result.bytes_[byte_index] + carry;
+    result.bytes_[byte_index] = static_cast<std::uint8_t>(sum & 0xFF);
+    carry = sum >> 8;
+    if (byte_index == 0) break;  // overflow wraps around the circle
+    --byte_index;
+  }
+  return result;
+}
+
+Id Id::successor_value() const { return add_power_of_two(0); }
+
+double Id::clockwise_distance(const Id& other) const {
+  // (other - this) mod 2^160, folded into a double.
+  double value = 0.0;
+  int borrow = 0;
+  std::array<std::uint8_t, kBytes> diff{};
+  for (std::size_t i = kBytes; i-- > 0;) {
+    int d = static_cast<int>(other.bytes_[i]) - static_cast<int>(bytes_[i]) - borrow;
+    if (d < 0) {
+      d += 256;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    diff[i] = static_cast<std::uint8_t>(d);
+  }
+  // A leftover borrow means other < this; modular arithmetic already wrapped
+  // correctly because we computed byte-wise mod-256 subtraction.
+  for (const std::uint8_t b : diff) value = value * 256.0 + b;
+  return value;
+}
+
+bool Id::in_open(const Id& x, const Id& a, const Id& b) {
+  if (a == b) return x != a;  // whole circle minus the endpoint
+  if (a < b) return a < x && x < b;
+  return x > a || x < b;  // arc wraps past zero
+}
+
+bool Id::in_half_open(const Id& x, const Id& a, const Id& b) {
+  if (a == b) return true;  // whole circle
+  if (a < b) return a < x && x <= b;
+  return x > a || x <= b;
+}
+
+}  // namespace dhtidx

@@ -1,0 +1,86 @@
+// 160-bit identifiers for the Chord-style identifier circle.
+//
+// Both node identifiers and data keys live in the same circular space
+// [0, 2^160). Id supports the interval arithmetic Chord routing needs:
+// clockwise membership tests on half-open / open / closed arcs, distance, and
+// ordering. Ids are regular value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/sha1.hpp"
+
+namespace dhtidx {
+
+/// A point on the 160-bit identifier circle.
+class Id {
+ public:
+  static constexpr std::size_t kBytes = 20;
+  static constexpr std::size_t kBits = 160;
+
+  /// Zero identifier.
+  constexpr Id() : bytes_{} {}
+
+  explicit constexpr Id(const std::array<std::uint8_t, kBytes>& bytes) : bytes_(bytes) {}
+
+  /// SHA-1 of an arbitrary name (the canonical way keys/nodes get ids).
+  static Id hash(std::string_view name) { return Id{Sha1::hash(name)}; }
+
+  /// Parses a 40-character lowercase/uppercase hex string.
+  /// Throws ParseError on malformed input.
+  static Id from_hex(std::string_view hex);
+
+  /// Builds an id whose value is the 64-bit integer `v` (high bits zero).
+  /// Mostly useful for tests that need predictable ring positions.
+  static Id from_uint64(std::uint64_t v);
+
+  const std::array<std::uint8_t, kBytes>& bytes() const { return bytes_; }
+
+  /// 40-character lowercase hex rendering.
+  std::string to_hex() const;
+
+  /// Short prefix (first 8 hex chars) for logs.
+  std::string brief() const { return to_hex().substr(0, 8); }
+
+  /// this + 2^power (mod 2^160); power must be < 160.
+  Id add_power_of_two(unsigned power) const;
+
+  /// this + 1 (mod 2^160).
+  Id successor_value() const;
+
+  /// Clockwise distance from this id to `other` (other - this mod 2^160),
+  /// saturated into a double for diagnostics/metrics.
+  double clockwise_distance(const Id& other) const;
+
+  /// True when `x` lies on the open arc (a, b) travelling clockwise.
+  /// When a == b the arc covers the whole circle minus {a}.
+  static bool in_open(const Id& x, const Id& a, const Id& b);
+
+  /// True when `x` lies on the half-open arc (a, b] travelling clockwise.
+  /// When a == b the arc covers the whole circle.
+  static bool in_half_open(const Id& x, const Id& a, const Id& b);
+
+  auto operator<=>(const Id&) const = default;
+
+ private:
+  std::array<std::uint8_t, kBytes> bytes_;
+};
+
+/// Hash functor so Id can key unordered containers.
+struct IdHasher {
+  std::size_t operator()(const Id& id) const {
+    // Ids are uniformly distributed SHA-1 outputs; the first 8 bytes are
+    // already a high-quality hash.
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t) && i < Id::kBytes; ++i) {
+      h = (h << 8) | id.bytes()[i];
+    }
+    return h;
+  }
+};
+
+}  // namespace dhtidx

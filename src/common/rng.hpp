@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (corpus generation, workload
+// sampling, simulation) draws from an explicitly seeded Rng so that whole
+// experiments replay bit-identically. The engine is xoshiro256**, seeded via
+// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dhtidx {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double probability_true);
+
+  /// Uniformly chosen index into a container of the given size (> 0).
+  std::size_t next_index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = next_index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for giving each subsystem its
+  /// own stream without coupling their consumption patterns).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dhtidx

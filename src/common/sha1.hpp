@@ -1,0 +1,46 @@
+// Minimal, dependency-free SHA-1 (FIPS 180-1).
+//
+// Chord identifies nodes and keys by SHA-1 digests of their names; this
+// implementation provides exactly that 160-bit hash. It is not intended as a
+// cryptographic primitive for new designs -- it reproduces the identifier
+// space of the DHT literature the paper builds on (Chord, Pastry).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dhtidx {
+
+/// A 160-bit SHA-1 digest, most significant byte first.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage: construct, call update() any number of times, then finish().
+/// finish() may be called only once; the object is spent afterwards.
+class Sha1 {
+ public:
+  Sha1();
+
+  /// Absorbs `data` into the hash state.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view text) { update(text.data(), text.size()); }
+
+  /// Completes padding and returns the digest.
+  Sha1Digest finish();
+
+  /// One-shot convenience over a string.
+  static Sha1Digest hash(std::string_view text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace dhtidx

@@ -1,0 +1,274 @@
+#include "dht/can.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dhtidx::dht {
+
+namespace {
+
+/// One-dimensional torus distance between coordinates in [0, 1).
+double torus_delta(double a, double b) {
+  const double d = std::fabs(a - b);
+  return std::min(d, 1.0 - d);
+}
+
+/// Distance from interval [lo, hi) to coordinate c on the unit torus.
+double interval_distance(double lo, double hi, double c) {
+  if (c >= lo && c < hi) return 0.0;
+  return std::min(torus_delta(c, lo), torus_delta(c, hi));
+}
+
+/// Do [alo, ahi) and [blo, bhi) overlap in extent (not just touch)?
+bool extent_overlaps(double alo, double ahi, double blo, double bhi) {
+  return std::max(alo, blo) < std::min(ahi, bhi);
+}
+
+/// Do the intervals abut on the torus (one's end is the other's start,
+/// including the 0/1 wrap)?
+bool abuts(double alo, double ahi, double blo, double bhi) {
+  const auto close = [](double a, double b) { return std::fabs(a - b) < 1e-12; };
+  if (close(ahi, blo) || close(bhi, alo)) return true;
+  // Wrap: one touches 1.0 while the other starts at 0.0.
+  if (close(ahi, 1.0) && close(blo, 0.0)) return true;
+  if (close(bhi, 1.0) && close(alo, 0.0)) return true;
+  return false;
+}
+
+}  // namespace
+
+double CanZone::distance_to(const CanPoint& p) const {
+  const double dx = interval_distance(lo.x, hi.x, p.x);
+  const double dy = interval_distance(lo.y, hi.y, p.y);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool CanZone::adjacent(const CanZone& a, const CanZone& b) {
+  // Vertical borders: x-intervals abut, y-extents overlap.
+  if (abuts(a.lo.x, a.hi.x, b.lo.x, b.hi.x) &&
+      extent_overlaps(a.lo.y, a.hi.y, b.lo.y, b.hi.y)) {
+    return true;
+  }
+  // Horizontal borders.
+  if (abuts(a.lo.y, a.hi.y, b.lo.y, b.hi.y) &&
+      extent_overlaps(a.lo.x, a.hi.x, b.lo.x, b.hi.x)) {
+    return true;
+  }
+  return false;
+}
+
+CanNetwork::CanNetwork(std::uint64_t seed) : rng_(seed) {}
+
+CanPoint CanNetwork::point_of(const Id& key) {
+  const auto& bytes = key.bytes();
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | bytes[static_cast<std::size_t>(i)];
+    lo = (lo << 8) | bytes[static_cast<std::size_t>(i) + 8];
+  }
+  constexpr double kScale = 0x1.0p-64;
+  return CanPoint{static_cast<double>(hi) * kScale, static_cast<double>(lo) * kScale};
+}
+
+Id CanNetwork::add_node(const std::string& name) {
+  const Id id = Id::hash(name);
+  if (nodes_.contains(id)) throw InvariantError("node id already present: " + id.brief());
+  if (size() == 0) {
+    nodes_[id].zones.push_back(CanZone{{0.0, 0.0}, {1.0, 1.0}});
+    return id;
+  }
+  // Pick a random point, find its owner, split the owning zone along its
+  // longer side; the new node takes the half containing the point.
+  const CanPoint p{rng_.next_double(), rng_.next_double()};
+  const Id owner = owner_of(p);
+  Node& owner_node = nodes_.at(owner);
+  const auto zone_it =
+      std::find_if(owner_node.zones.begin(), owner_node.zones.end(),
+                   [&](const CanZone& z) { return z.contains(p); });
+  CanZone zone = *zone_it;
+  owner_node.zones.erase(zone_it);
+
+  CanZone kept = zone;
+  CanZone given = zone;
+  if (zone.width() >= zone.height()) {
+    const double mid = (zone.lo.x + zone.hi.x) / 2.0;
+    kept.hi.x = mid;
+    given.lo.x = mid;
+  } else {
+    const double mid = (zone.lo.y + zone.hi.y) / 2.0;
+    kept.hi.y = mid;
+    given.lo.y = mid;
+  }
+  if (kept.contains(p)) std::swap(kept, given);
+  owner_node.zones.push_back(kept);
+  nodes_[id].zones.push_back(given);
+  // A join costs a routed lookup plus the zone-transfer handshake.
+  routing_stats_.record(2 * Id::kBytes + net::kMessageOverheadBytes);
+  return id;
+}
+
+void CanNetwork::crash(const Id& id) {
+  Node& victim = nodes_.at(id);
+  if (!victim.alive) return;
+  victim.alive = false;
+  std::vector<CanZone> orphaned = std::move(victim.zones);
+  victim.zones.clear();
+  // CAN takeover: each orphaned zone goes to the bordering live neighbour
+  // with the smallest total volume (it can merge or hold multiple zones).
+  for (CanZone& zone : orphaned) {
+    Id best{};
+    double best_volume = 2.0;
+    bool found = false;
+    for (const auto& [nid, node] : nodes_) {
+      if (!node.alive) continue;
+      const bool borders = std::any_of(node.zones.begin(), node.zones.end(),
+                                       [&](const CanZone& z) {
+                                         return CanZone::adjacent(z, zone);
+                                       });
+      if (!borders) continue;
+      double volume = 0.0;
+      for (const CanZone& z : node.zones) volume += z.volume();
+      if (!found || volume < best_volume) {
+        best = nid;
+        best_volume = volume;
+        found = true;
+      }
+    }
+    if (!found) throw InvariantError("CAN zone has no live neighbour to take over");
+    nodes_.at(best).zones.push_back(zone);
+    routing_stats_.record(2 * Id::kBytes + net::kMessageOverheadBytes);
+  }
+}
+
+Id CanNetwork::owner_of(const CanPoint& p) const {
+  for (const auto& [nid, node] : nodes_) {
+    if (!node.alive) continue;
+    for (const CanZone& zone : node.zones) {
+      if (zone.contains(p)) return nid;
+    }
+  }
+  throw NotFoundError("no zone contains the point (empty network?)");
+}
+
+LookupResult CanNetwork::lookup(const Id& key) {
+  std::vector<Id> live = node_ids();
+  if (live.empty()) throw NotFoundError("CAN network has no live nodes");
+  return lookup_from(live[rng_.next_index(live.size())], key);
+}
+
+LookupResult CanNetwork::lookup_from(const Id& origin, const Id& key) {
+  const CanPoint target = point_of(key);
+  Id current = origin;
+  int hops = 0;
+  const int max_hops = static_cast<int>(8 * std::sqrt(static_cast<double>(size())) + 16);
+  for (; hops <= max_hops; ++hops) {
+    const Node& node = nodes_.at(current);
+    if (!node.alive) throw NotFoundError("routing reached a dead node");
+    const bool here = std::any_of(node.zones.begin(), node.zones.end(),
+                                  [&](const CanZone& z) { return z.contains(target); });
+    if (here) return LookupResult{current, hops};
+    // Greedy: forward to the bordering neighbour whose zones are closest to
+    // the target point.
+    Id best{};
+    double best_distance = 10.0;
+    bool found = false;
+    for (const auto& [nid, other] : nodes_) {
+      if (nid == current || !other.alive) continue;
+      bool borders = false;
+      for (const CanZone& mine : node.zones) {
+        for (const CanZone& theirs : other.zones) {
+          if (CanZone::adjacent(mine, theirs)) {
+            borders = true;
+            break;
+          }
+        }
+        if (borders) break;
+      }
+      if (!borders) continue;
+      double distance = 2.0;
+      for (const CanZone& z : other.zones) {
+        distance = std::min(distance, z.distance_to(target));
+      }
+      if (!found || distance < best_distance) {
+        best = nid;
+        best_distance = distance;
+        found = true;
+      }
+    }
+    if (!found) throw NotFoundError("CAN routing found no neighbour to forward to");
+    routing_stats_.record(Id::kBytes + net::kMessageOverheadBytes);
+    current = best;
+  }
+  throw NotFoundError("CAN routing exceeded the hop budget");
+}
+
+std::vector<Id> CanNetwork::node_ids() const {
+  std::vector<Id> live;
+  for (const auto& [nid, node] : nodes_) {
+    if (node.alive) live.push_back(nid);
+  }
+  return live;
+}
+
+std::size_t CanNetwork::size() const {
+  std::size_t count = 0;
+  for (const auto& [nid, node] : nodes_) {
+    if (node.alive) ++count;
+  }
+  return count;
+}
+
+const std::vector<CanZone>& CanNetwork::zones_of(const Id& id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw NotFoundError("no such node: " + id.brief());
+  return it->second.zones;
+}
+
+std::vector<Id> CanNetwork::neighbours_of(const Id& id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw NotFoundError("no such node: " + id.brief());
+  std::vector<Id> result;
+  for (const auto& [nid, other] : nodes_) {
+    if (nid == id || !other.alive) continue;
+    bool borders = false;
+    for (const CanZone& mine : it->second.zones) {
+      for (const CanZone& theirs : other.zones) {
+        if (CanZone::adjacent(mine, theirs)) {
+          borders = true;
+          break;
+        }
+      }
+      if (borders) break;
+    }
+    if (borders) result.push_back(nid);
+  }
+  return result;
+}
+
+bool CanNetwork::zones_partition_space(double tolerance) const {
+  double total = 0.0;
+  std::vector<const CanZone*> zones;
+  for (const auto& [nid, node] : nodes_) {
+    if (!node.alive) continue;
+    for (const CanZone& z : node.zones) {
+      total += z.volume();
+      zones.push_back(&z);
+    }
+  }
+  if (std::fabs(total - 1.0) > tolerance) return false;
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    for (std::size_t j = i + 1; j < zones.size(); ++j) {
+      const CanZone& a = *zones[i];
+      const CanZone& b = *zones[j];
+      const bool overlap = extent_overlaps(a.lo.x, a.hi.x, b.lo.x, b.hi.x) &&
+                           extent_overlaps(a.lo.y, a.hi.y, b.lo.y, b.hi.y);
+      if (overlap) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dhtidx::dht

@@ -1,0 +1,361 @@
+#include "dht/chord.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dhtidx::dht {
+
+namespace {
+
+// Payload size estimates (bytes) for the protocol messages; only used for
+// routing-traffic accounting.
+constexpr std::uint64_t kIdBytes = Id::kBytes;
+constexpr std::uint64_t kFindPayload = kIdBytes;
+constexpr std::uint64_t kListPayload = kIdBytes * ChordNode::kSuccessorListLength;
+
+}  // namespace
+
+// ---------------------------------------------------------------- ChordNode
+
+void ChordNode::create() {
+  predecessor_.reset();
+  successors_.assign(1, id_);
+}
+
+void ChordNode::join(const Id& bootstrap) {
+  predecessor_.reset();
+  int hops = 0;
+  const Id succ = network_->rpc(bootstrap, kFindPayload, [&](ChordNode& n) {
+    return n.find_successor(id_, hops);
+  });
+  successors_.assign(1, succ);
+}
+
+Id ChordNode::successor() {
+  while (!successors_.empty()) {
+    const Id head = successors_.front();
+    if (head == id_ || network_->ping(head)) return head;
+    forget(head);
+  }
+  // Lost the whole list: fall back to self; stabilization will re-merge when
+  // another node notifies us.
+  successors_.assign(1, id_);
+  return id_;
+}
+
+void ChordNode::set_successor_front(const Id& node) {
+  const auto it = std::find(successors_.begin(), successors_.end(), node);
+  if (it != successors_.end()) successors_.erase(it);
+  successors_.insert(successors_.begin(), node);
+  if (successors_.size() > kSuccessorListLength) successors_.resize(kSuccessorListLength);
+}
+
+void ChordNode::adopt_successor_list(const Id& head, const std::vector<Id>& rest) {
+  successors_.clear();
+  successors_.push_back(head);
+  for (const Id& id : rest) {
+    if (id == id_) continue;  // don't list ourselves behind our successor
+    if (std::find(successors_.begin(), successors_.end(), id) != successors_.end()) continue;
+    successors_.push_back(id);
+    if (successors_.size() == kSuccessorListLength) break;
+  }
+}
+
+Id ChordNode::closest_preceding(const Id& key) const {
+  // Scan fingers from the farthest down, then the successor list; the
+  // standard Chord routing choice.
+  for (std::size_t i = kFingerCount; i-- > 0;) {
+    const std::optional<Id>& f = fingers_[i];
+    if (f && Id::in_open(*f, id_, key)) return *f;
+  }
+  for (std::size_t i = successors_.size(); i-- > 0;) {
+    if (Id::in_open(successors_[i], id_, key)) return successors_[i];
+  }
+  return id_;
+}
+
+Id ChordNode::find_successor(const Id& key, int& hops) {
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const Id succ = successor();
+    if (Id::in_half_open(key, id_, succ)) return succ;
+    const Id next = closest_preceding(key);
+    if (next == id_) return succ;  // no better hop known
+    try {
+      ++hops;
+      return network_->rpc(next, kFindPayload,
+                           [&](ChordNode& n) { return n.find_successor(key, hops); });
+    } catch (const net::RpcError&) {
+      forget(next);  // stale finger/successor; retry with the next best
+    }
+  }
+  throw net::RpcError("find_successor exhausted retries at node " + id_.brief());
+}
+
+void ChordNode::stabilize() {
+  for (int attempt = 0; attempt < static_cast<int>(kSuccessorListLength) + 1; ++attempt) {
+    const Id succ = successor();
+    if (succ == id_) {
+      // Alone (or temporarily isolated): nothing to verify.
+      if (predecessor_ && *predecessor_ != id_) {
+        // A predecessor exists, so we are not actually alone; re-link to it.
+        set_successor_front(*predecessor_);
+        continue;
+      }
+      return;
+    }
+    try {
+      const std::optional<Id> x = network_->rpc(
+          succ, kIdBytes, [](ChordNode& n) { return n.predecessor(); });
+      if (x && *x != id_ && Id::in_open(*x, id_, succ) && network_->ping(*x)) {
+        set_successor_front(*x);
+        continue;  // re-verify against the closer successor
+      }
+      const auto list = network_->rpc(succ, kListPayload, [this](ChordNode& n) {
+        n.notify(id_);
+        return n.successor_list();
+      });
+      adopt_successor_list(succ, list);
+      return;
+    } catch (const net::RpcError&) {
+      forget(succ);
+    }
+  }
+}
+
+void ChordNode::notify(const Id& candidate) {
+  if (candidate == id_) return;
+  if (!predecessor_ || Id::in_open(candidate, *predecessor_, id_)) {
+    predecessor_ = candidate;
+  }
+}
+
+void ChordNode::check_predecessor() {
+  if (predecessor_ && *predecessor_ != id_ && !network_->ping(*predecessor_)) {
+    predecessor_.reset();
+  }
+}
+
+void ChordNode::fix_fingers(std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t i = next_finger_;
+    next_finger_ = (next_finger_ + 1) % kFingerCount;
+    const Id start = id_.add_power_of_two(static_cast<unsigned>(i));
+    try {
+      int hops = 0;
+      fingers_[i] = find_successor(start, hops);
+    } catch (const net::RpcError&) {
+      fingers_[i].reset();
+    }
+  }
+}
+
+void ChordNode::forget(const Id& node) {
+  successors_.erase(std::remove(successors_.begin(), successors_.end(), node),
+                    successors_.end());
+  for (auto& finger : fingers_) {
+    if (finger && *finger == node) finger.reset();
+  }
+  if (predecessor_ && *predecessor_ == node) predecessor_.reset();
+}
+
+void ChordNode::leave_gracefully() {
+  const Id succ = successor();
+  if (succ != id_ && predecessor_ && *predecessor_ != id_) {
+    const Id pred = *predecessor_;
+    try {
+      network_->rpc(succ, kIdBytes, [&](ChordNode& n) {
+        if (n.predecessor_ && *n.predecessor_ == id_) n.predecessor_ = pred;
+        return 0;
+      });
+    } catch (const net::RpcError&) {
+    }
+    try {
+      network_->rpc(pred, kIdBytes, [&](ChordNode& n) {
+        n.forget(id_);
+        n.set_successor_front(succ);
+        return 0;
+      });
+    } catch (const net::RpcError&) {
+    }
+  }
+  alive_ = false;
+}
+
+// ------------------------------------------------------------- ChordNetwork
+
+ChordNetwork::ChordNetwork(std::uint64_t seed)
+    : latency_(net::LatencyDistribution::kExponential, 50.0, seed ^ 0x17),
+      failures_(seed ^ 0x31),
+      rng_(seed) {}
+
+Id ChordNetwork::add_node(const std::string& name) {
+  return add_node_with_id(Id::hash(name));
+}
+
+Id ChordNetwork::add_node_with_id(const Id& id) {
+  if (nodes_.contains(id)) throw InvariantError("node id already present: " + id.brief());
+  // Pick a bootstrap before inserting, so we never bootstrap off ourselves.
+  std::vector<Id> live;
+  for (const auto& [nid, node] : nodes_) {
+    if (node->alive()) live.push_back(nid);
+  }
+  auto node = std::make_unique<ChordNode>(id, this);
+  ChordNode* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  if (live.empty()) {
+    raw->create();
+  } else {
+    try {
+      raw->join(live[rng_.next_index(live.size())]);
+    } catch (const net::RpcError&) {
+      // Join failed (e.g. lost messages): don't leave a zombie behind; the
+      // caller may retry.
+      nodes_.erase(id);
+      throw;
+    }
+  }
+  return id;
+}
+
+void ChordNetwork::crash(const Id& id) {
+  auto& n = node(id);
+  n.alive_ = false;
+  failures_.crash(id);
+}
+
+void ChordNetwork::leave(const Id& id) {
+  node(id).leave_gracefully();
+}
+
+void ChordNetwork::stabilize_round(std::size_t fingers_per_round) {
+  std::vector<Id> live;
+  for (const auto& [nid, n] : nodes_) {
+    if (n->alive()) live.push_back(nid);
+  }
+  rng_.shuffle(live);
+  for (const Id& nid : live) {
+    ChordNode& n = node(nid);
+    if (!n.alive()) continue;
+    n.check_predecessor();
+    n.stabilize();
+    n.fix_fingers(fingers_per_round);
+    // Isolation recovery: a node that lost its whole successor list (e.g.
+    // under message loss) falls back to a self-ring and would never
+    // reintegrate on its own. Deployed Chord nodes keep bootstrap addresses
+    // and re-join; model that here.
+    if (live.size() > 1 && n.successor() == nid) {
+      for (int attempt = 0; attempt < 3; ++attempt) {
+        const Id& bootstrap = live[rng_.next_index(live.size())];
+        if (bootstrap == nid) continue;
+        try {
+          n.join(bootstrap);
+          break;
+        } catch (const net::RpcError&) {
+        }
+      }
+    }
+  }
+}
+
+bool ChordNetwork::ring_correct() const {
+  std::vector<Id> live;
+  for (const auto& [nid, n] : nodes_) {
+    if (n->alive()) live.push_back(nid);
+  }
+  if (live.empty()) return true;
+  std::sort(live.begin(), live.end());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const Id& expected_succ = live[(i + 1) % live.size()];
+    const auto& n = nodes_.at(live[i]);
+    if (n->successor_list().empty() || n->successor_list().front() != expected_succ) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int ChordNetwork::stabilize_until_converged(int max_rounds) {
+  for (int round = 0; round < max_rounds; ++round) {
+    if (ring_correct()) return round;
+    stabilize_round();
+  }
+  return ring_correct() ? max_rounds : -1;
+}
+
+LookupResult ChordNetwork::lookup(const Id& key) {
+  std::vector<Id> live;
+  for (const auto& [nid, n] : nodes_) {
+    if (n->alive()) live.push_back(nid);
+  }
+  if (live.empty()) throw NotFoundError("chord network has no live nodes");
+  return lookup_from(live[rng_.next_index(live.size())], key);
+}
+
+std::vector<Id> ChordNetwork::replica_set(const Id& key, std::size_t count) {
+  const Id primary = lookup(key).node;
+  std::vector<Id> replicas{primary};
+  for (const Id& succ : node(primary).successor_list()) {
+    if (replicas.size() >= count) break;
+    if (succ == primary || !is_alive(succ)) continue;
+    if (std::find(replicas.begin(), replicas.end(), succ) == replicas.end()) {
+      replicas.push_back(succ);
+    }
+  }
+  return replicas;
+}
+
+LookupResult ChordNetwork::lookup_from(const Id& origin, const Id& key) {
+  ChordNode& n = node(origin);
+  if (!n.alive()) throw net::RpcError("origin node " + origin.brief() + " is down");
+  int hops = 0;
+  const Id responsible = n.find_successor(key, hops);
+  return LookupResult{responsible, hops};
+}
+
+std::vector<Id> ChordNetwork::node_ids() const {
+  std::vector<Id> live;
+  for (const auto& [nid, n] : nodes_) {
+    if (n->alive()) live.push_back(nid);
+  }
+  return live;
+}
+
+std::size_t ChordNetwork::size() const {
+  std::size_t count = 0;
+  for (const auto& [nid, n] : nodes_) {
+    if (n->alive()) ++count;
+  }
+  return count;
+}
+
+ChordNode& ChordNetwork::node(const Id& id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw NotFoundError("no such node: " + id.brief());
+  return *it->second;
+}
+
+const ChordNode& ChordNetwork::node(const Id& id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw NotFoundError("no such node: " + id.brief());
+  return *it->second;
+}
+
+bool ChordNetwork::is_alive(const Id& id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second->alive();
+}
+
+bool ChordNetwork::ping(const Id& target, int attempts) {
+  for (int i = 0; i < attempts; ++i) {
+    try {
+      return rpc(target, 0, [](ChordNode&) { return true; });
+    } catch (const net::RpcError&) {
+      // Crashed targets fail every attempt; dropped messages deserve a retry.
+      if (failures_.is_crashed(target)) return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace dhtidx::dht

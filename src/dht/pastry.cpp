@@ -1,0 +1,339 @@
+#include "dht/pastry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dhtidx::dht {
+
+namespace {
+
+using Bytes = std::array<std::uint8_t, Id::kBytes>;
+
+/// to - from (mod 2^160), byte-wise.
+Bytes clockwise_diff(const Id& from, const Id& to) {
+  Bytes diff{};
+  int borrow = 0;
+  const auto& a = from.bytes();
+  const auto& b = to.bytes();
+  for (std::size_t i = Id::kBytes; i-- > 0;) {
+    int d = static_cast<int>(b[i]) - static_cast<int>(a[i]) - borrow;
+    if (d < 0) {
+      d += 256;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    diff[i] = static_cast<std::uint8_t>(d);
+  }
+  return diff;
+}
+
+/// min(|a - key|, |key - a|) on the circle, as exact bytes.
+Bytes circular_distance(const Id& a, const Id& key) {
+  const Bytes d1 = clockwise_diff(a, key);
+  const Bytes d2 = clockwise_diff(key, a);
+  return std::min(d1, d2);
+}
+
+constexpr std::uint64_t kIdBytes = Id::kBytes;
+
+}  // namespace
+
+int pastry_digit(const Id& id, std::size_t i) {
+  const std::uint8_t byte = id.bytes()[i / 2];
+  return (i % 2 == 0) ? (byte >> 4) : (byte & 0x0F);
+}
+
+std::size_t pastry_prefix(const Id& a, const Id& b) {
+  std::size_t shared = 0;
+  while (shared < kPastryDigits && pastry_digit(a, shared) == pastry_digit(b, shared)) {
+    ++shared;
+  }
+  return shared;
+}
+
+bool pastry_closer(const Id& a, const Id& b, const Id& key) {
+  const Bytes da = circular_distance(a, key);
+  const Bytes db = circular_distance(b, key);
+  if (da != db) return da < db;
+  return a < b;  // deterministic tie-break
+}
+
+// ---------------------------------------------------------------- PastryNode
+
+void PastryNode::learn(const Id& node) {
+  if (node == id_) return;
+
+  // Leaf sets: keep the kLeafHalf nearest on each side.
+  const auto insert_side = [&](std::vector<Id>& side, const Id& reference_order) {
+    (void)reference_order;
+    if (std::find(side.begin(), side.end(), node) != side.end()) return;
+    side.push_back(node);
+  };
+  insert_side(larger_, id_);
+  std::sort(larger_.begin(), larger_.end(), [&](const Id& x, const Id& y) {
+    return clockwise_diff(id_, x) < clockwise_diff(id_, y);
+  });
+  if (larger_.size() > kLeafHalf) larger_.resize(kLeafHalf);
+  insert_side(smaller_, id_);
+  std::sort(smaller_.begin(), smaller_.end(), [&](const Id& x, const Id& y) {
+    return clockwise_diff(x, id_) < clockwise_diff(y, id_);
+  });
+  if (smaller_.size() > kLeafHalf) smaller_.resize(kLeafHalf);
+
+  // Routing table.
+  const std::size_t row = pastry_prefix(id_, node);
+  if (row < kPastryDigits) {
+    const auto column = static_cast<std::size_t>(pastry_digit(node, row));
+    if (!table_[row][column]) table_[row][column] = node;
+  }
+}
+
+void PastryNode::forget(const Id& node) {
+  larger_.erase(std::remove(larger_.begin(), larger_.end(), node), larger_.end());
+  smaller_.erase(std::remove(smaller_.begin(), smaller_.end(), node), smaller_.end());
+  const std::size_t row = pastry_prefix(id_, node);
+  if (row < kPastryDigits) {
+    const auto column = static_cast<std::size_t>(pastry_digit(node, row));
+    if (table_[row][column] && *table_[row][column] == node) {
+      table_[row][column].reset();
+    }
+  }
+}
+
+std::vector<Id> PastryNode::known_nodes() const {
+  std::vector<Id> known;
+  known.reserve(smaller_.size() + larger_.size() + 16);
+  known.insert(known.end(), smaller_.begin(), smaller_.end());
+  known.insert(known.end(), larger_.begin(), larger_.end());
+  for (const auto& row : table_) {
+    for (const auto& entry : row) {
+      if (entry) known.push_back(*entry);
+    }
+  }
+  std::sort(known.begin(), known.end());
+  known.erase(std::unique(known.begin(), known.end()), known.end());
+  return known;
+}
+
+std::optional<Id> PastryNode::table_entry(std::size_t row, std::size_t column) const {
+  return table_.at(row).at(column);
+}
+
+bool PastryNode::key_in_leaf_range(const Id& key) const {
+  if (smaller_.empty() || larger_.empty()) return true;  // tiny network
+  // The leaf set spans from the farthest smaller leaf to the farthest larger
+  // leaf, clockwise through id_.
+  const Id& low = smaller_.back();
+  const Id& high = larger_.back();
+  return Id::in_half_open(key, low, high) || key == low;
+}
+
+Id PastryNode::closest_known(const Id& key) const {
+  Id best = id_;
+  for (const Id& leaf : smaller_) {
+    if (pastry_closer(leaf, best, key)) best = leaf;
+  }
+  for (const Id& leaf : larger_) {
+    if (pastry_closer(leaf, best, key)) best = leaf;
+  }
+  return best;
+}
+
+Id PastryNode::route(const Id& key, int& hops) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Id next = id_;
+    if (key_in_leaf_range(key)) {
+      next = closest_known(key);
+      if (next == id_) return id_;  // this node is the root for the key
+    } else {
+      const std::size_t row = pastry_prefix(id_, key);
+      const auto column = static_cast<std::size_t>(pastry_digit(key, row));
+      const std::optional<Id>& entry = table_[row][column];
+      if (entry) {
+        next = *entry;
+      } else {
+        // Rare case: any known node strictly closer to the key whose shared
+        // prefix with the key is at least as long.
+        Id best = id_;
+        for (const Id& candidate : known_nodes()) {
+          if (pastry_prefix(candidate, key) >= row && pastry_closer(candidate, best, key)) {
+            best = candidate;
+          }
+        }
+        if (best == id_) return closest_known(key);
+        next = best;
+      }
+    }
+    try {
+      ++hops;
+      return network_->rpc(next, kIdBytes,
+                           [&](PastryNode& n) { return n.route(key, hops); });
+    } catch (const net::RpcError&) {
+      forget(next);
+    }
+  }
+  throw net::RpcError("pastry routing exhausted retries at " + id_.brief());
+}
+
+void PastryNode::repair() {
+  // Prune dead state.
+  for (const Id& node : known_nodes()) {
+    if (!network_->ping(node)) forget(node);
+  }
+  // Refill from the nearest live neighbours' knowledge (leaf-set gossip).
+  std::vector<Id> sources;
+  if (!smaller_.empty()) sources.push_back(smaller_.front());
+  if (!larger_.empty()) sources.push_back(larger_.front());
+  if (!smaller_.empty()) sources.push_back(smaller_.back());
+  if (!larger_.empty()) sources.push_back(larger_.back());
+  for (const Id& source : sources) {
+    try {
+      const auto known = network_->rpc(
+          source, kIdBytes * (2 * kLeafHalf + 8),
+          [&](PastryNode& n) {
+            n.learn(id_);
+            return n.known_nodes();
+          });
+      for (const Id& node : known) {
+        if (network_->is_alive(node)) learn(node);
+      }
+    } catch (const net::RpcError&) {
+      forget(source);
+    }
+  }
+}
+
+// ------------------------------------------------------------- PastryNetwork
+
+PastryNetwork::PastryNetwork(std::uint64_t seed)
+    : failures_(seed ^ 0x77), rng_(seed) {}
+
+Id PastryNetwork::add_node(const std::string& name) {
+  const Id id = Id::hash(name);
+  if (nodes_.contains(id)) throw InvariantError("node id already present: " + id.brief());
+  std::vector<Id> live = node_ids();
+  auto node = std::make_unique<PastryNode>(id, this);
+  PastryNode* raw = node.get();
+  nodes_.emplace(id, std::move(node));
+  if (live.empty()) return id;
+
+  // Join: route to our own id from a bootstrap; adopt the root's state and
+  // announce ourselves to everyone we learned about.
+  const Id bootstrap = live[rng_.next_index(live.size())];
+  int hops = 0;
+  const Id root = rpc(bootstrap, kIdBytes,
+                      [&](PastryNode& n) { return n.route(id, hops); });
+  raw->learn(bootstrap);
+  raw->learn(root);
+  const auto root_known = rpc(root, kIdBytes * 16,
+                              [&](PastryNode& n) { return n.known_nodes(); });
+  for (const Id& other : root_known) {
+    if (is_alive(other)) raw->learn(other);
+  }
+  for (const Id& other : raw->known_nodes()) {
+    try {
+      rpc(other, kIdBytes, [&](PastryNode& n) {
+        n.learn(id);
+        return 0;
+      });
+    } catch (const net::RpcError&) {
+    }
+  }
+  return id;
+}
+
+void PastryNetwork::crash(const Id& id) {
+  node(id).alive_ = false;
+  failures_.crash(id);
+}
+
+void PastryNetwork::repair_round() {
+  std::vector<Id> live = node_ids();
+  rng_.shuffle(live);
+  for (const Id& id : live) {
+    PastryNode& n = node(id);
+    if (n.alive()) n.repair();
+  }
+}
+
+bool PastryNetwork::leaf_sets_correct() const {
+  std::vector<Id> live;
+  for (const auto& [nid, n] : nodes_) {
+    if (n->alive()) live.push_back(nid);
+  }
+  if (live.size() < 2) return true;
+  std::sort(live.begin(), live.end());
+  const std::size_t per_side = std::min(PastryNode::kLeafHalf, live.size() - 1);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const PastryNode& n = *nodes_.at(live[i]);
+    // Expected clockwise neighbours.
+    for (std::size_t k = 1; k <= per_side; ++k) {
+      const Id& expected = live[(i + k) % live.size()];
+      if (k > n.larger_leaves().size() || n.larger_leaves()[k - 1] != expected) {
+        // Wrap collisions (tiny rings) can place a node on both sides; only
+        // fail when the node is absent entirely.
+        const auto& l = n.larger_leaves();
+        if (std::find(l.begin(), l.end(), expected) == l.end()) return false;
+      }
+    }
+    for (std::size_t k = 1; k <= per_side; ++k) {
+      const Id& expected = live[(i + live.size() - k) % live.size()];
+      const auto& s = n.smaller_leaves();
+      if (std::find(s.begin(), s.end(), expected) == s.end()) return false;
+    }
+  }
+  return true;
+}
+
+LookupResult PastryNetwork::lookup(const Id& key) {
+  std::vector<Id> live = node_ids();
+  if (live.empty()) throw NotFoundError("pastry network has no live nodes");
+  return lookup_from(live[rng_.next_index(live.size())], key);
+}
+
+LookupResult PastryNetwork::lookup_from(const Id& origin, const Id& key) {
+  PastryNode& n = node(origin);
+  if (!n.alive()) throw net::RpcError("origin node " + origin.brief() + " is down");
+  int hops = 0;
+  const Id root = n.route(key, hops);
+  return LookupResult{root, hops};
+}
+
+std::vector<Id> PastryNetwork::node_ids() const {
+  std::vector<Id> live;
+  for (const auto& [nid, n] : nodes_) {
+    if (n->alive()) live.push_back(nid);
+  }
+  return live;
+}
+
+std::size_t PastryNetwork::size() const {
+  std::size_t count = 0;
+  for (const auto& [nid, n] : nodes_) {
+    if (n->alive()) ++count;
+  }
+  return count;
+}
+
+PastryNode& PastryNetwork::node(const Id& id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw NotFoundError("no such node: " + id.brief());
+  return *it->second;
+}
+
+bool PastryNetwork::is_alive(const Id& id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second->alive();
+}
+
+bool PastryNetwork::ping(const Id& target) {
+  try {
+    return rpc(target, 0, [](PastryNode&) { return true; });
+  } catch (const net::RpcError&) {
+    return false;
+  }
+}
+
+}  // namespace dhtidx::dht

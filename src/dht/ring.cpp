@@ -1,0 +1,56 @@
+#include "dht/ring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dhtidx::dht {
+
+Ring Ring::with_nodes(std::size_t n, const std::string& prefix) {
+  Ring ring;
+  for (std::size_t i = 0; i < n; ++i) {
+    ring.add(Id::hash(prefix + std::to_string(i)));
+  }
+  return ring;
+}
+
+bool Ring::add(const Id& node) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it != nodes_.end() && *it == node) return false;
+  nodes_.insert(it, node);
+  return true;
+}
+
+bool Ring::remove(const Id& node) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end() || *it != node) return false;
+  nodes_.erase(it);
+  return true;
+}
+
+bool Ring::contains(const Id& node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+Id Ring::successor(const Id& key) const {
+  if (nodes_.empty()) throw NotFoundError("ring has no nodes");
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), key);
+  return it == nodes_.end() ? nodes_.front() : *it;
+}
+
+LookupResult Ring::lookup(const Id& key) { return LookupResult{successor(key), 0}; }
+
+std::vector<Id> Ring::replica_set(const Id& key, std::size_t count) {
+  if (nodes_.empty()) throw NotFoundError("ring has no nodes");
+  std::vector<Id> replicas;
+  const std::size_t take = std::min(count, nodes_.size());
+  replicas.reserve(take);
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), key);
+  std::size_t index = it == nodes_.end() ? 0 : static_cast<std::size_t>(it - nodes_.begin());
+  for (std::size_t i = 0; i < take; ++i) {
+    replicas.push_back(nodes_[(index + i) % nodes_.size()]);
+  }
+  return replicas;
+}
+
+}  // namespace dhtidx::dht

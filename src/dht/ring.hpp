@@ -1,0 +1,49 @@
+// Instant consistent-hashing ring.
+//
+// Maps a key to its clockwise successor node in O(log n) with no routing
+// messages. The indexing evaluation uses this substrate: the paper argues
+// (Section V-E) that the number of nodes and the routing algorithm do not
+// affect indexing effectiveness, only lookup latency. Ring also serves as the
+// correctness oracle for the Chord implementation in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dht/dht.hpp"
+
+namespace dhtidx::dht {
+
+class Ring : public Dht {
+ public:
+  Ring() = default;
+
+  /// Convenience: a ring of `n` nodes named "<prefix><i>".
+  static Ring with_nodes(std::size_t n, const std::string& prefix = "node-");
+
+  /// Adds a node. Returns false when the id is already present.
+  bool add(const Id& node);
+
+  /// Removes a node. Returns false when absent.
+  bool remove(const Id& node);
+
+  bool contains(const Id& node) const;
+
+  /// The node responsible for `key`: its clockwise successor on the circle.
+  /// Throws NotFoundError when the ring is empty.
+  Id successor(const Id& key) const;
+
+  LookupResult lookup(const Id& key) override;
+
+  /// The responsible node and its clockwise successors (distinct, at most
+  /// the whole ring).
+  std::vector<Id> replica_set(const Id& key, std::size_t count) override;
+
+  std::vector<Id> node_ids() const override { return nodes_; }
+  std::size_t size() const override { return nodes_.size(); }
+
+ private:
+  std::vector<Id> nodes_;  // sorted
+};
+
+}  // namespace dhtidx::dht

@@ -1,0 +1,84 @@
+#include "index/builder.hpp"
+
+#include <unordered_set>
+
+#include "index/fuzzy.hpp"
+#include "xml/writer.hpp"
+
+namespace dhtidx::index {
+
+void IndexBuilder::index_file(const xml::Element& descriptor, const std::string& file_name,
+                              std::uint64_t file_bytes, BuildStats* stats,
+                              std::uint64_t now) {
+  const query::Query msd = query::Query::most_specific(descriptor);
+
+  storage::Record record;
+  record.kind = "file:" + file_name;
+  record.payload = xml::write(descriptor, {.pretty = false});
+  record.virtual_payload_bytes = file_bytes;
+  store_.put(msd.key(), std::move(record));
+
+  std::size_t inserted = 0;
+  for (const Mapping& m : scheme_.mappings_for(msd)) {
+    service_.insert(m.source, m.target, now);
+    ++inserted;
+  }
+  if (dictionary_ != nullptr) {
+    for (const query::Constraint& c : msd.constraints()) {
+      if (c.value && !c.value_is_prefix) dictionary_->add(c.path_string(), *c.value);
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->files;
+    stats->mappings_inserted += inserted;
+    stats->file_bytes_stored += file_bytes;
+  }
+}
+
+std::size_t IndexBuilder::republish(const xml::Element& descriptor, std::uint64_t now) {
+  const query::Query msd = query::Query::most_specific(descriptor);
+  std::size_t refreshed = 0;
+  for (const Mapping& m : scheme_.mappings_for(msd)) {
+    service_.insert(m.source, m.target, now);
+    ++refreshed;
+  }
+  return refreshed;
+}
+
+std::size_t IndexBuilder::remove_file(const xml::Element& descriptor) {
+  const query::Query msd = query::Query::most_specific(descriptor);
+
+  // Remove the file record itself first.
+  const Id file_key = msd.key();
+  const auto get = store_.get(file_key);
+  for (const storage::Record r : *get.records) {  // copy: removal mutates the vector
+    store_.remove(file_key, r);
+  }
+
+  // Cascade: a mapping (s ; t) may be removed once its target key t no
+  // longer leads anywhere -- initially only the MSD qualifies (the file is
+  // gone). Each removal that empties a source key makes mappings pointing at
+  // that key removable in turn.
+  const std::vector<Mapping> mappings = scheme_.mappings_for(msd);
+  std::vector<bool> removed(mappings.size(), false);
+  std::unordered_set<std::string> dead_keys{msd.canonical()};
+  std::size_t total_removed = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < mappings.size(); ++i) {
+      if (removed[i]) continue;
+      if (!dead_keys.contains(mappings[i].target.canonical())) continue;
+      bool source_now_empty = false;
+      if (service_.remove(mappings[i].source, mappings[i].target, source_now_empty)) {
+        ++total_removed;
+      }
+      removed[i] = true;
+      progress = true;
+      if (source_now_empty) dead_keys.insert(mappings[i].source.canonical());
+    }
+  }
+  return total_removed;
+}
+
+}  // namespace dhtidx::index

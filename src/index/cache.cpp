@@ -1,0 +1,71 @@
+#include "index/cache.hpp"
+
+#include <algorithm>
+
+namespace dhtidx::index {
+
+std::string to_string(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kNone:
+      return "no-cache";
+    case CachePolicy::kMulti:
+      return "multi-cache";
+    case CachePolicy::kSingle:
+      return "single-cache";
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kLruMulti:
+      return "lru-multi";
+  }
+  return "?";
+}
+
+std::vector<const query::Query*> ShortcutCache::find(const query::Query& source) const {
+  std::vector<const query::Query*> out;
+  const auto it = by_source_.find(source.canonical());
+  if (it == by_source_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& entry_it : it->second) out.push_back(&entry_it->target);
+  return out;
+}
+
+bool ShortcutCache::contains(const query::Query& source, const query::Query& target) const {
+  return by_key_.contains(key_of(source, target));
+}
+
+bool ShortcutCache::insert(const query::Query& source, const query::Query& target) {
+  const std::string key = key_of(source, target);
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return false;
+  }
+  if (capacity_ != 0) {
+    while (lru_.size() >= capacity_) evict_lru();
+  }
+  lru_.push_front(Entry{source, target});
+  by_key_.emplace(key, lru_.begin());
+  by_source_[source.canonical()].push_back(lru_.begin());
+  bytes_ += source.byte_size() + target.byte_size();
+  return true;
+}
+
+void ShortcutCache::touch(const query::Query& source, const query::Query& target) {
+  const auto it = by_key_.find(key_of(source, target));
+  if (it != by_key_.end()) lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void ShortcutCache::evict_lru() {
+  if (lru_.empty()) return;
+  const auto victim = std::prev(lru_.end());
+  bytes_ -= victim->source.byte_size() + victim->target.byte_size();
+  const std::string source_key = victim->source.canonical();
+  by_key_.erase(key_of(victim->source, victim->target));
+  auto& bucket = by_source_[source_key];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), victim), bucket.end());
+  if (bucket.empty()) by_source_.erase(source_key);
+  lru_.erase(victim);
+  ++evictions_;
+}
+
+}  // namespace dhtidx::index

@@ -1,0 +1,93 @@
+// Adaptive shortcut cache (Section IV-C).
+//
+// Each node devotes some entries to "shortcuts": direct mappings from a
+// generic query to the descriptor (MSD) of a file that a previous lookup
+// reached through that query. A later user looking for the same file via the
+// same query jumps straight to the file. Entries are kept in LRU order; a
+// capacity of zero means unbounded (the paper's multi-/single-cache
+// policies), a positive capacity gives the LRU-k policies.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query.hpp"
+
+namespace dhtidx::index {
+
+/// Placement/replacement policy for shortcut entries (Section V-D).
+enum class CachePolicy {
+  kNone,         ///< no shortcuts at all
+  kMulti,        ///< shortcut on every node along the lookup path, unbounded
+  kSingle,       ///< shortcut only on the first node contacted, unbounded
+  kLru,          ///< like kSingle, but bounded per node with LRU replacement
+  kLruMulti,     ///< ablation: multi placement with bounded LRU caches
+};
+
+/// True for policies that create any shortcuts.
+constexpr bool caching_enabled(CachePolicy policy) { return policy != CachePolicy::kNone; }
+
+/// True for policies that place shortcuts on every path node.
+constexpr bool multi_placement(CachePolicy policy) {
+  return policy == CachePolicy::kMulti || policy == CachePolicy::kLruMulti;
+}
+
+/// True for policies with bounded per-node capacity.
+constexpr bool bounded_cache(CachePolicy policy) {
+  return policy == CachePolicy::kLru || policy == CachePolicy::kLruMulti;
+}
+
+std::string to_string(CachePolicy policy);
+
+/// One node's shortcut store.
+class ShortcutCache {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit ShortcutCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// All targets cached under `source`, most recently used first.
+  /// Does not update recency (use touch() after choosing one).
+  std::vector<const query::Query*> find(const query::Query& source) const;
+
+  /// True when the exact (source, target) shortcut is present.
+  bool contains(const query::Query& source, const query::Query& target) const;
+
+  /// Inserts (or refreshes) a shortcut. Returns true when a new entry was
+  /// created (false when it already existed and was only touched).
+  bool insert(const query::Query& source, const query::Query& target);
+
+  /// Marks the entry as most recently used.
+  void touch(const query::Query& source, const query::Query& target);
+
+  std::size_t size() const { return lru_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return capacity_ != 0 && lru_.size() >= capacity_; }
+  std::uint64_t byte_size() const { return bytes_; }
+
+  /// Number of entries evicted so far.
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    query::Query source;
+    query::Query target;
+  };
+
+  static std::string key_of(const query::Query& source, const query::Query& target) {
+    return source.canonical() + '\x1f' + target.canonical();
+  }
+
+  void evict_lru();
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
+  std::unordered_map<std::string, std::vector<std::list<Entry>::iterator>> by_source_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dhtidx::index

@@ -1,0 +1,97 @@
+// Fuzzy matching for misspelled queries (Section VI).
+//
+// The indexing service depends on the exact-match facilities of the DHT: a
+// single typo in a field value hashes to an unrelated key. The paper's
+// closing section proposes handling misspellings by "validating descriptors
+// and queries against databases that store known file descriptors, such as
+// CDDB for music files". This module implements that validation database: a
+// per-field dictionary of known values with a trigram index for candidate
+// retrieval and Levenshtein ranking, plus a resolver that corrects failed
+// queries and retries them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "index/lookup.hpp"
+#include "query/query.hpp"
+
+namespace dhtidx::index {
+
+/// Levenshtein edit distance. When the distance would exceed `cap`, returns
+/// cap + 1 (banded computation, O(cap * min(len)) time).
+std::size_t edit_distance(std::string_view a, std::string_view b,
+                          std::size_t cap = SIZE_MAX);
+
+/// A dictionary of the values known to exist per field path (the "database
+/// of known file descriptors"). Fed by IndexBuilder as files are indexed.
+class FieldDictionary {
+ public:
+  /// Registers a value for the field (e.g. field "author/last", "Smith").
+  void add(const std::string& field_path, std::string_view value);
+
+  /// True when the exact value is known for the field.
+  bool known(const std::string& field_path, std::string_view value) const;
+
+  /// Candidate replacement for a possibly-misspelled value.
+  struct Suggestion {
+    std::string value;
+    std::size_t distance = 0;  ///< edit distance from the input
+  };
+
+  /// The closest known values, nearest first (ties broken alphabetically).
+  /// Only values within `max_distance` edits are returned.
+  std::vector<Suggestion> suggest(const std::string& field_path, std::string_view value,
+                                  std::size_t max_results = 5,
+                                  std::size_t max_distance = 2) const;
+
+  std::size_t value_count(const std::string& field_path) const;
+  std::size_t field_count() const { return fields_.size(); }
+
+ private:
+  struct FieldIndex {
+    std::vector<std::string> values;  // insertion order, unique
+    std::unordered_set<std::string> present;
+    // trigram -> indices into values (candidate retrieval)
+    std::unordered_map<std::string, std::vector<std::uint32_t>> trigrams;
+  };
+
+  static std::vector<std::string> trigrams_of(std::string_view value);
+
+  std::map<std::string, FieldIndex> fields_;
+};
+
+/// Corrects misspelled queries against a FieldDictionary and retries them.
+class FuzzyResolver {
+ public:
+  /// Both references must outlive the resolver.
+  FuzzyResolver(LookupEngine& engine, const FieldDictionary& dictionary)
+      : engine_(engine), dictionary_(dictionary) {}
+
+  /// Corrected variants of `q` in which every misspelled value constraint is
+  /// replaced by a known value; best corrections (smallest total edit
+  /// distance) first. Returns an empty list when `q` is already valid or
+  /// cannot be repaired within the distance budget.
+  std::vector<query::Query> corrections(const query::Query& q,
+                                        std::size_t max_results = 5) const;
+
+  /// search_all with fuzzy fallback: when `q` yields nothing and contains
+  /// unknown values, the best corrections are tried in order.
+  struct Result {
+    query::Query used_query;            ///< the query that produced results
+    std::vector<query::Query> results;  ///< matching MSDs (may be empty)
+    bool corrected = false;             ///< true when a corrected query was used
+  };
+  Result search(const query::Query& q, int depth_limit = 8);
+
+ private:
+  LookupEngine& engine_;
+  const FieldDictionary& dictionary_;
+};
+
+}  // namespace dhtidx::index

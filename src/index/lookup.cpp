@@ -1,0 +1,214 @@
+#include "index/lookup.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "net/stats.hpp"
+
+namespace dhtidx::index {
+
+using query::Query;
+
+LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_msd) {
+  LookupOutcome outcome;
+  net::TrafficLedger& ledger = service_.ledger();
+  // (node, query asked there) for every index node on the successful path;
+  // shortcut creation replays this chain.
+  std::vector<std::pair<Id, Query>> asked;
+
+  Query q = initial;
+  while (outcome.interactions < config_.max_interactions) {
+    if (q == target_msd) {
+      // Final step: fetch the file from the storage layer (the Publication
+      // index of Figure 5). DhtStore::get accounts its own traffic.
+      const auto got = store_.get(q.key());
+      ++outcome.interactions;
+      outcome.visited_nodes.push_back(got.node);
+      outcome.found = !got.records->empty();
+      if (outcome.found) create_shortcuts(asked, target_msd);
+      return outcome;
+    }
+
+    const Id node = service_.node_for(q);
+    IndexNodeState& state = service_.state_at(node);
+    ++outcome.interactions;
+    outcome.visited_nodes.push_back(node);
+    ledger.queries.record(q.byte_size() + net::kMessageOverheadBytes);
+
+    // The shortcut cache is consulted by the node before the regular index;
+    // a hit answers with the target descriptor directly.
+    bool key_has_cache_entries = false;
+    if (caching_enabled(config_.policy)) {
+      const auto cached = state.cache().find(q);
+      key_has_cache_entries = !cached.empty();
+      const bool hit = std::any_of(cached.begin(), cached.end(), [&](const Query* t) {
+        return *t == target_msd;
+      });
+      if (hit) {
+        state.cache().touch(q, target_msd);
+        ledger.cache.record(target_msd.byte_size() + net::kMessageOverheadBytes);
+        if (!outcome.cache_hit) {
+          outcome.cache_hit = true;
+          outcome.cache_hit_position = static_cast<int>(outcome.visited_nodes.size());
+        }
+        asked.emplace_back(node, q);
+        q = target_msd;  // jump straight to the file
+        continue;
+      }
+    }
+
+    const std::vector<Query>& targets = state.targets_of(q);
+    std::uint64_t response_bytes = net::kMessageOverheadBytes;
+    for (const Query& t : targets) response_bytes += t.byte_size();
+    ledger.responses.record(response_bytes);
+
+    // The user picks the result that matches the article they are after: the
+    // one covering (or equal to) the target MSD. Among several matches the
+    // most specific wins, so short-circuit entries (direct MSD links for
+    // popular content, Section IV-C) take precedence over intermediate keys.
+    const Query* next = nullptr;
+    for (const Query& t : targets) {
+      if (t != target_msd && !t.covers(target_msd)) continue;
+      if (next == nullptr || t.constraints().size() > next->constraints().size()) {
+        next = &t;
+      }
+    }
+    if (next != nullptr) {
+      asked.emplace_back(node, q);
+      q = *next;
+      continue;
+    }
+
+    // Miss: generalize by dropping one field group and retrying
+    // (Section IV-B). A query counts as an error for Table I only when its
+    // key is absent from every index on the node -- regular and cache alike:
+    // "an index entry is created automatically after the first lookup;
+    // subsequent queries from other users can locate the data using the
+    // cache entry, and hence do not experience an error" (Section V-E h).
+    if (targets.empty() && !key_has_cache_entries) outcome.non_indexed = true;
+    const std::vector<Query> candidates = generalization_candidates(q);
+    const Query* fallback = nullptr;
+    for (const Query& g : candidates) {
+      if (g.covers(target_msd)) {
+        fallback = &g;
+        break;
+      }
+    }
+    if (fallback == nullptr) return outcome;  // nothing left to drop: give up
+    // Remember the non-indexed query's node: after success a shortcut is
+    // created there, so later users asking the same query avoid the error
+    // ("the cache reduces the number of errors", Section V-E h).
+    asked.emplace_back(node, q);
+    ++outcome.generalization_steps;
+    q = *fallback;
+  }
+  return outcome;  // interaction budget exhausted
+}
+
+std::vector<Query> LookupEngine::generalization_candidates(const Query& q) {
+  // Group constraint indices by their top-level field.
+  std::map<std::string, std::vector<std::size_t>> groups;
+  const auto& constraints = q.constraints();
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    groups[constraints[i].path.front()].push_back(i);
+  }
+  if (groups.size() <= 1) return {};  // dropping the only field leaves nothing
+
+  std::vector<Query> candidates;
+  candidates.reserve(groups.size());
+  for (const auto& [field, indices] : groups) {
+    std::vector<std::size_t> keep;
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+      if (std::find(indices.begin(), indices.end(), i) == indices.end()) keep.push_back(i);
+    }
+    candidates.push_back(q.keep_constraints(keep));
+  }
+  // Prefer dropping the field that loses the fewest constraints (keeps the
+  // query as selective as possible); tie-break on canonical form for
+  // determinism.
+  std::stable_sort(candidates.begin(), candidates.end(), [](const Query& a, const Query& b) {
+    if (a.constraints().size() != b.constraints().size()) {
+      return a.constraints().size() > b.constraints().size();
+    }
+    return a.canonical() < b.canonical();
+  });
+  return candidates;
+}
+
+void LookupEngine::create_shortcuts(const std::vector<std::pair<Id, Query>>& asked,
+                                    const Query& target_msd) {
+  if (!caching_enabled(config_.policy) || asked.empty()) return;
+  net::TrafficLedger& ledger = service_.ledger();
+  const std::size_t count = multi_placement(config_.policy) ? asked.size() : 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& [node, q] = asked[i];
+    if (q == target_msd) continue;  // no point shortcutting the MSD to itself
+    IndexNodeState& state = service_.state_at(node);
+    if (state.cache().insert(q, target_msd)) {
+      ledger.cache.record(q.byte_size() + target_msd.byte_size() +
+                          net::kMessageOverheadBytes);
+    }
+  }
+}
+
+std::vector<Query> LookupEngine::search_range(const Query& base,
+                                              std::string_view field_path, long lo,
+                                              long hi, int depth_limit) {
+  std::vector<Query> results;
+  std::set<std::string> seen;
+  for (long value = lo; value <= hi; ++value) {
+    Query q = base;
+    q.add_field(field_path, std::to_string(value));
+    for (Query& msd : search_all(q, depth_limit)) {
+      if (seen.insert(msd.canonical()).second) results.push_back(std::move(msd));
+    }
+  }
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+std::vector<Query> LookupEngine::search_all(const Query& initial, int depth_limit) {
+  std::vector<Query> results = search_tree(initial, depth_limit);
+  if (!results.empty()) return results;
+  // The query may simply not be indexed: generalize, search the broader
+  // query, and keep only the descriptors the original query covers
+  // (Section IV-B's generalization/specialization, automated).
+  for (const Query& g : generalization_candidates(initial)) {
+    std::vector<Query> broader = search_all(g, depth_limit);
+    if (broader.empty()) continue;
+    std::vector<Query> filtered;
+    for (Query& msd : broader) {
+      if (initial.covers(msd)) filtered.push_back(std::move(msd));
+    }
+    return filtered;
+  }
+  return {};
+}
+
+std::vector<Query> LookupEngine::search_tree(const Query& initial, int depth_limit) {
+  std::vector<Query> results;
+  std::unordered_set<std::string> seen;
+  std::vector<std::pair<Query, int>> frontier{{initial, 0}};
+  seen.insert(initial.canonical());
+  while (!frontier.empty()) {
+    auto [q, depth] = std::move(frontier.back());
+    frontier.pop_back();
+    if (depth > depth_limit) continue;
+    const auto reply = service_.lookup(q);  // accounts its own traffic
+    if (reply.targets.empty()) {
+      // Leaf of the index graph: if a file record exists here, q is an MSD.
+      const auto got = store_.get(q.key());
+      if (!got.records->empty()) results.push_back(q);
+      continue;
+    }
+    for (const Query& t : reply.targets) {
+      if (seen.insert(t.canonical()).second) frontier.emplace_back(t, depth + 1);
+    }
+  }
+  std::sort(results.begin(), results.end());
+  return results;
+}
+
+}  // namespace dhtidx::index

@@ -1,0 +1,92 @@
+// Lookup engine (Sections IV-B and IV-C).
+//
+// resolve() simulates one user session: starting from an initial (usually
+// broad) query, the user iteratively asks the index service for more specific
+// queries, picking at each step the result that matches the article they are
+// after, until the MSD is reached and the file fetched. Along the way the
+// engine
+//   - consults the shortcut caches and "jumps" on a hit,
+//   - falls back to generalization when the query is not indexed
+//     ("locating non-indexed data", the source of Table I's error counts),
+//   - creates shortcut entries after success, per the configured policy.
+//
+// search_all() is the automated mode: it exhaustively explores the index
+// below a query and returns every reachable MSD, for applications that want
+// full result sets rather than a directed walk.
+#pragma once
+
+#include <vector>
+
+#include "common/id.hpp"
+#include "index/cache.hpp"
+#include "index/service.hpp"
+#include "query/query.hpp"
+#include "storage/dht_store.hpp"
+
+namespace dhtidx::index {
+
+/// Lookup behaviour configuration.
+struct LookupConfig {
+  CachePolicy policy = CachePolicy::kNone;
+  /// Hard bound on user-system interactions before giving up.
+  int max_interactions = 32;
+};
+
+/// What happened during one resolve() session.
+struct LookupOutcome {
+  bool found = false;
+  int interactions = 0;        ///< user-system rounds, including the file fetch
+  bool cache_hit = false;      ///< a shortcut ended the search
+  int cache_hit_position = 0;  ///< 1-based index of the hit node in the chain
+  bool non_indexed = false;    ///< the initial query was not in any index
+  int generalization_steps = 0;  ///< extra interactions spent generalizing
+  std::vector<Id> visited_nodes;  ///< nodes contacted, in order (incl. storage)
+};
+
+/// Directed and exhaustive lookups over a distributed index.
+class LookupEngine {
+ public:
+  /// All references must outlive the engine.
+  LookupEngine(IndexService& service, storage::DhtStore& store, LookupConfig config)
+      : service_(service), store_(store), config_(config) {}
+
+  const LookupConfig& config() const { return config_; }
+
+  /// Resolves the article whose MSD is `target_msd`, starting from `initial`.
+  /// `initial` must cover `target_msd` (the user's query matches the article
+  /// they want); otherwise the lookup fails cleanly with found == false.
+  LookupOutcome resolve(const query::Query& initial, const query::Query& target_msd);
+
+  /// Exhaustive search: every MSD reachable from `initial` through the index
+  /// (automated mode: "the system recursively explores the indexes and
+  /// returns all the file descriptors that match the original query").
+  /// Non-indexed queries are generalized and the broader result set filtered
+  /// back down to the original query. `depth_limit` bounds the recursion.
+  std::vector<query::Query> search_all(const query::Query& initial, int depth_limit = 8);
+
+  /// Range search over an integer-valued field: both query logs the paper
+  /// studies include publication-date intervals ("published before/after a
+  /// given year"). The DHT only supports exact keys, so the range is
+  /// expanded client-side into one query per value in [lo, hi], and results
+  /// are unioned. `base` provides the other constraints (may be root-only).
+  std::vector<query::Query> search_range(const query::Query& base,
+                                         std::string_view field_path, long lo, long hi,
+                                         int depth_limit = 8);
+
+ private:
+  /// Generalization candidates for a non-indexed query, best first: drop one
+  /// top-level field group at a time, preferring to keep more constraints.
+  static std::vector<query::Query> generalization_candidates(const query::Query& q);
+
+  /// The index-walking part of search_all (no generalization fallback).
+  std::vector<query::Query> search_tree(const query::Query& initial, int depth_limit);
+
+  void create_shortcuts(const std::vector<std::pair<Id, query::Query>>& asked,
+                        const query::Query& target_msd);
+
+  IndexService& service_;
+  storage::DhtStore& store_;
+  LookupConfig config_;
+};
+
+}  // namespace dhtidx::index

@@ -1,0 +1,89 @@
+#include "index/node_state.hpp"
+
+#include <algorithm>
+
+namespace dhtidx::index {
+
+namespace {
+const std::vector<query::Query> kNoTargets;
+}
+
+namespace {
+std::string stamp_key(const query::Query& source, const query::Query& target) {
+  return source.canonical() + '\x1f' + target.canonical();
+}
+}  // namespace
+
+bool IndexNodeState::add(const query::Query& source, const query::Query& target,
+                         std::uint64_t now) {
+  auto [it, inserted] = entries_.try_emplace(source.canonical(),
+                                             std::pair{source, std::vector<query::Query>{}});
+  auto& targets = it->second.second;
+  if (std::find(targets.begin(), targets.end(), target) != targets.end()) {
+    stamps_[stamp_key(source, target)] = now;  // republish refreshes
+    return false;
+  }
+  if (inserted) bytes_ += source.byte_size();
+  bytes_ += target.byte_size();
+  targets.push_back(target);
+  stamps_[stamp_key(source, target)] = now;
+  ++mapping_count_;
+  return true;
+}
+
+std::size_t IndexNodeState::expire_older_than(std::uint64_t cutoff) {
+  // Collect stale (source, target) pairs first; removal mutates the maps.
+  std::vector<std::pair<query::Query, query::Query>> stale;
+  for (const auto& [canonical, entry] : entries_) {
+    for (const query::Query& target : entry.second) {
+      const auto it = stamps_.find(stamp_key(entry.first, target));
+      if (it == stamps_.end() || it->second < cutoff) {
+        stale.emplace_back(entry.first, target);
+      }
+    }
+  }
+  for (const auto& [source, target] : stale) {
+    bool unused = false;
+    remove(source, target, unused);
+  }
+  return stale.size();
+}
+
+std::optional<std::uint64_t> IndexNodeState::refresh_stamp(
+    const query::Query& source, const query::Query& target) const {
+  const auto it = stamps_.find(stamp_key(source, target));
+  if (it == stamps_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<query::Query>& IndexNodeState::targets_of(
+    const query::Query& source) const {
+  const auto it = entries_.find(source.canonical());
+  return it == entries_.end() ? kNoTargets : it->second.second;
+}
+
+bool IndexNodeState::has_source(const query::Query& source) const {
+  return entries_.contains(source.canonical());
+}
+
+bool IndexNodeState::remove(const query::Query& source, const query::Query& target,
+                            bool& source_now_empty) {
+  source_now_empty = false;
+  const auto it = entries_.find(source.canonical());
+  if (it == entries_.end()) return false;
+  auto& targets = it->second.second;
+  const auto pos = std::find(targets.begin(), targets.end(), target);
+  if (pos == targets.end()) return false;
+  bytes_ -= pos->byte_size();
+  stamps_.erase(stamp_key(it->second.first, target));
+  targets.erase(pos);
+  --mapping_count_;
+  if (targets.empty()) {
+    bytes_ -= it->second.first.byte_size();
+    entries_.erase(it);
+    source_now_empty = true;
+  }
+  return true;
+}
+
+}  // namespace dhtidx::index

@@ -1,0 +1,76 @@
+// Per-node index state: the regular query-to-query index plus the shortcut
+// cache. Section IV: "Each node should maintain an index, which essentially
+// consists of query-to-query mappings."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/cache.hpp"
+#include "query/query.hpp"
+
+namespace dhtidx::index {
+
+/// The index partition held by one DHT node.
+class IndexNodeState {
+ public:
+  explicit IndexNodeState(std::size_t cache_capacity = 0) : cache_(cache_capacity) {}
+
+  /// Adds the mapping (source ; target). Returns true when it was new; an
+  /// existing mapping has its refresh stamp updated to `now` (soft-state
+  /// republish, Section IV-C's read/write maintenance).
+  bool add(const query::Query& source, const query::Query& target, std::uint64_t now = 0);
+
+  /// Targets registered under `source` (empty when none).
+  const std::vector<query::Query>& targets_of(const query::Query& source) const;
+
+  /// True when any mapping is registered under `source`.
+  bool has_source(const query::Query& source) const;
+
+  /// Removes the mapping. Returns true when it existed; sets
+  /// `source_now_empty` when it was the last mapping for that source.
+  bool remove(const query::Query& source, const query::Query& target,
+              bool& source_now_empty);
+
+  /// Drops every mapping whose refresh stamp is older than `cutoff`
+  /// (exclusive). Returns the number removed. Publishers that keep
+  /// republishing their mappings retain them; entries for vanished
+  /// publishers age out -- standard DHT soft-state expiry.
+  std::size_t expire_older_than(std::uint64_t cutoff);
+
+  /// Refresh stamp of a mapping, or nullopt when absent.
+  std::optional<std::uint64_t> refresh_stamp(const query::Query& source,
+                                             const query::Query& target) const;
+
+  /// Distinct index keys (sources) on this node.
+  std::size_t key_count() const { return entries_.size(); }
+
+  /// Total query-to-query mappings on this node.
+  std::size_t mapping_count() const { return mapping_count_; }
+
+  /// Bytes of regular index state.
+  std::uint64_t byte_size() const { return bytes_; }
+
+  ShortcutCache& cache() { return cache_; }
+  const ShortcutCache& cache() const { return cache_; }
+
+  /// All sources with their targets (for iteration/diagnostics).
+  const std::map<std::string, std::pair<query::Query, std::vector<query::Query>>>& entries()
+      const {
+    return entries_;
+  }
+
+ private:
+  // canonical(source) -> (source, targets). Targets kept in insertion order.
+  std::map<std::string, std::pair<query::Query, std::vector<query::Query>>> entries_;
+  // canonical(source) + '\x1f' + canonical(target) -> refresh stamp.
+  std::map<std::string, std::uint64_t> stamps_;
+  ShortcutCache cache_;
+  std::size_t mapping_count_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dhtidx::index

@@ -1,0 +1,62 @@
+#include "index/service.hpp"
+
+#include "common/error.hpp"
+
+namespace dhtidx::index {
+
+Id IndexService::insert(const query::Query& source, const query::Query& target,
+                        std::uint64_t now) {
+  if (!source.covers(target)) {
+    throw InvariantError("index mapping rejected: '" + source.canonical() +
+                         "' does not cover '" + target.canonical() + "'");
+  }
+  const Id node = dht_.lookup(source.key()).node;
+  state_at(node).add(source, target, now);
+  return node;
+}
+
+std::size_t IndexService::expire(std::uint64_t cutoff) {
+  std::size_t removed = 0;
+  for (auto& [node, state] : states_) removed += state.expire_older_than(cutoff);
+  return removed;
+}
+
+bool IndexService::remove(const query::Query& source, const query::Query& target,
+                          bool& source_now_empty) {
+  const Id node = dht_.lookup(source.key()).node;
+  return state_at(node).remove(source, target, source_now_empty);
+}
+
+IndexService::Reply IndexService::lookup(const query::Query& q) {
+  const dht::LookupResult where = dht_.lookup(q.key());
+  ledger_.queries.record(q.byte_size() + net::kMessageOverheadBytes);
+  const IndexNodeState& state = state_at(where.node);
+  Reply reply;
+  reply.node = where.node;
+  reply.hops = where.hops;
+  reply.targets = state.targets_of(q);
+  std::uint64_t response_bytes = net::kMessageOverheadBytes;
+  for (const query::Query& t : reply.targets) response_bytes += t.byte_size();
+  ledger_.responses.record(response_bytes);
+  return reply;
+}
+
+IndexNodeState& IndexService::state_at(const Id& node) {
+  const auto it = states_.find(node);
+  if (it != states_.end()) return it->second;
+  return states_.emplace(node, IndexNodeState{cache_capacity_}).first->second;
+}
+
+IndexService::Totals IndexService::totals() const {
+  Totals t;
+  for (const auto& [node, state] : states_) {
+    t.keys += state.key_count();
+    t.mappings += state.mapping_count();
+    t.bytes += state.byte_size();
+    t.cached_entries += state.cache().size();
+    t.cache_bytes += state.cache().byte_size();
+  }
+  return t;
+}
+
+}  // namespace dhtidx::index

@@ -1,0 +1,81 @@
+// The distributed index service (Section IV).
+//
+// Indexes do not contain key-to-data mappings; they provide a query-to-query
+// service. insert(q, qi) requires q ⊒ qi -- the covering check is enforced
+// here, which is what makes the index "resilient to arbitrary linking"
+// (Section IV-D): a file can only be indexed under queries that cover it.
+#pragma once
+
+#include <map>
+
+#include "dht/dht.hpp"
+#include "index/node_state.hpp"
+#include "net/stats.hpp"
+#include "query/query.hpp"
+
+namespace dhtidx::index {
+
+/// Distributed query-to-query index over a Dht.
+class IndexService {
+ public:
+  /// `dht` and `ledger` must outlive the service. `cache_capacity` sizes the
+  /// per-node shortcut caches (0 = unbounded).
+  IndexService(dht::Dht& dht, net::TrafficLedger& ledger, std::size_t cache_capacity = 0)
+      : dht_(dht), ledger_(ledger), cache_capacity_(cache_capacity) {}
+
+  /// Registers the mapping (source ; target) on the node responsible for
+  /// h(source). Throws InvariantError when source does not cover target.
+  /// Build-time operation: does not count into the per-query traffic ledger.
+  /// `now` is the publisher's logical time: re-inserting refreshes the
+  /// mapping's soft-state stamp. Returns the node that stores the mapping.
+  Id insert(const query::Query& source, const query::Query& target, std::uint64_t now = 0);
+
+  /// Drops every mapping whose refresh stamp is older than `cutoff` on every
+  /// node (soft-state expiry). Returns the number of mappings removed.
+  std::size_t expire(std::uint64_t cutoff);
+
+  /// Removes a mapping; `source_now_empty` reports whether this was the last
+  /// mapping under the source key (triggering recursive cleanup upstream).
+  bool remove(const query::Query& source, const query::Query& target,
+              bool& source_now_empty);
+
+  /// The "lookup(q)" operation of Section IV: all queries qi with a mapping
+  /// (q ; qi) on the responsible node. Counts query/response traffic.
+  struct Reply {
+    std::vector<query::Query> targets;
+    Id node;
+    int hops = 0;
+  };
+  Reply lookup(const query::Query& q);
+
+  /// The node currently responsible for q (no traffic accounted).
+  Id node_for(const query::Query& q) { return dht_.lookup(q.key()).node; }
+
+  /// Mutable per-node state (created on demand with the configured cache
+  /// capacity).
+  IndexNodeState& state_at(const Id& node);
+
+  const std::map<Id, IndexNodeState>& states() const { return states_; }
+  std::map<Id, IndexNodeState>& states() { return states_; }
+
+  dht::Dht& dht() { return dht_; }
+  net::TrafficLedger& ledger() { return ledger_; }
+
+  /// Aggregate statistics over all node states.
+  struct Totals {
+    std::size_t keys = 0;
+    std::size_t mappings = 0;
+    std::uint64_t bytes = 0;
+    std::size_t cached_entries = 0;
+    std::uint64_t cache_bytes = 0;
+  };
+  Totals totals() const;
+
+ private:
+  dht::Dht& dht_;
+  net::TrafficLedger& ledger_;
+  std::size_t cache_capacity_;
+  std::map<Id, IndexNodeState> states_;
+};
+
+}  // namespace dhtidx::index

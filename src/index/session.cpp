@@ -1,0 +1,58 @@
+#include "index/session.hpp"
+
+#include "common/error.hpp"
+
+namespace dhtidx::index {
+
+InteractiveSession& InteractiveSession::start(const query::Query& q) {
+  trail_.clear();
+  options_.clear();
+  at_file_ = false;
+  interactions_ = 0;
+  issue(q);
+  return *this;
+}
+
+const query::Query& InteractiveSession::current() const {
+  if (trail_.empty()) throw InvariantError("session not started");
+  return trail_.back();
+}
+
+const std::vector<storage::Record>& InteractiveSession::fetch() const {
+  if (!at_file_) throw InvariantError("current query is not a stored file's MSD");
+  return *store_.get(current().key()).records;
+}
+
+InteractiveSession& InteractiveSession::choose(std::size_t i) {
+  if (i >= options_.size()) throw InvariantError("no such option");
+  issue(options_[i]);
+  return *this;
+}
+
+InteractiveSession& InteractiveSession::refine(std::string_view field_path,
+                                               std::string value) {
+  query::Query narrowed = current();
+  narrowed.add_field(field_path, std::move(value));
+  issue(narrowed);
+  return *this;
+}
+
+InteractiveSession& InteractiveSession::back() {
+  if (trail_.size() < 2) return *this;
+  trail_.pop_back();
+  const query::Query q = trail_.back();
+  trail_.pop_back();
+  issue(q);
+  return *this;
+}
+
+void InteractiveSession::issue(query::Query q) {
+  ++interactions_;
+  trail_.push_back(q);
+  const auto reply = service_.lookup(q);  // traffic accounted by the service
+  options_ = reply.targets;
+  // A query with no further refinements may be a stored file's MSD.
+  at_file_ = options_.empty() && !store_.get(q.key()).records->empty();
+}
+
+}  // namespace dhtidx::index

@@ -1,0 +1,73 @@
+// Interactive lookup sessions (Section IV-B).
+//
+// "The lookup process can be interactive, i.e., the user directs the search
+// and restricts its query at each step, or automated..."  LookupEngine's
+// resolve() plays an automated user; InteractiveSession exposes the step-by-
+// step flavour to applications: issue a query, look at the returned
+// refinements, choose one (or backtrack, or restrict with an extra
+// constraint), until a file is reached.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "index/cache.hpp"
+#include "index/service.hpp"
+#include "query/query.hpp"
+#include "storage/dht_store.hpp"
+
+namespace dhtidx::index {
+
+/// One user's step-by-step walk down the index.
+class InteractiveSession {
+ public:
+  /// `service` and `store` must outlive the session.
+  InteractiveSession(IndexService& service, storage::DhtStore& store)
+      : service_(service), store_(store) {}
+
+  /// Starts (or restarts) the session at a query. Returns *this.
+  InteractiveSession& start(const query::Query& q);
+
+  /// The query currently focused.
+  const query::Query& current() const;
+
+  /// The refinement options the index returned for current(): more specific
+  /// queries covered by it. Empty at a file or at a dead end.
+  const std::vector<query::Query>& options() const { return options_; }
+
+  /// True when current() is the most specific query of a stored file.
+  bool at_file() const { return at_file_; }
+
+  /// Fetches the file records at the current MSD. Only valid when at_file().
+  const std::vector<storage::Record>& fetch() const;
+
+  /// Follows option `i`. Throws InvariantError on a bad index.
+  InteractiveSession& choose(std::size_t i);
+
+  /// Narrows the current query with an extra field constraint and re-issues
+  /// it ("restricts its query at each step").
+  InteractiveSession& refine(std::string_view field_path, std::string value);
+
+  /// Steps back to the previously focused query. No-op at the start.
+  InteractiveSession& back();
+
+  /// User-system interactions so far (matches LookupOutcome accounting).
+  int interactions() const { return interactions_; }
+
+  /// The chain of queries focused so far, oldest first.
+  const std::vector<query::Query>& trail() const { return trail_; }
+
+ private:
+  // By value: callers pass references into options_, which issue()
+  // reassigns -- a reference parameter would dangle mid-function.
+  void issue(query::Query q);
+
+  IndexService& service_;
+  storage::DhtStore& store_;
+  std::vector<query::Query> trail_;
+  std::vector<query::Query> options_;
+  bool at_file_ = false;
+  int interactions_ = 0;
+};
+
+}  // namespace dhtidx::index

@@ -1,0 +1,59 @@
+// INS/Twine-style baseline (Section II, related work).
+//
+// INS/Twine (Balazinska et al., Pervasive 2002) resolves partial resource
+// descriptions by extracting "strands" -- prefix subsequences of attributes
+// and values -- hashing each strand, and storing the resource description
+// *redundantly on all peers* that correspond to those keys. Lookups send the
+// query to the node of one strand and get matching descriptions back in a
+// single round trip.
+//
+// The paper's contribution is the opposite trade: a key-to-key service that
+// stores data once and pays extra lookup rounds instead of replicated
+// storage. This baseline implements the Twine side so the trade-off can be
+// measured (bench/baseline_twine): per-strand replication of the descriptor
+// record vs. hierarchical query-to-query entries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/query.hpp"
+#include "storage/dht_store.hpp"
+#include "xml/node.hpp"
+
+namespace dhtidx::index {
+
+/// Strand-replicating resolver in the style of INS/Twine.
+class TwineIndexer {
+ public:
+  /// `store` must outlive the indexer. Strands are derived from the
+  /// descriptor's top-level fields.
+  explicit TwineIndexer(storage::DhtStore& store) : store_(store) {}
+
+  /// The strand queries of a descriptor: every single field, plus the
+  /// attribute-pair combinations users query by (mirroring the field
+  /// combinations the paper's schemes index), plus the full MSD.
+  static std::vector<query::Query> strands(const query::Query& msd);
+
+  /// Stores the descriptor record under h(MSD) *and* under the key of every
+  /// strand -- Twine's redundant placement. Returns the number of copies.
+  std::size_t publish(const xml::Element& descriptor, const std::string& file_name,
+                      std::uint64_t file_bytes);
+
+  /// Resolves a partial query in one round: fetches the records stored under
+  /// the query's own key and returns the MSDs of those matching.
+  struct Resolution {
+    std::vector<query::Query> results;
+    int interactions = 1;
+  };
+  Resolution resolve(const query::Query& q);
+
+  /// Copies stored so far (for the storage comparison).
+  std::size_t copies_stored() const { return copies_stored_; }
+
+ private:
+  storage::DhtStore& store_;
+  std::size_t copies_stored_ = 0;
+};
+
+}  // namespace dhtidx::index

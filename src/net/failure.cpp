@@ -1,0 +1,4 @@
+#include "net/failure.hpp"
+
+// Header-only; kept as a TU for the library archive.
+namespace dhtidx::net {}

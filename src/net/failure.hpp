@@ -1,0 +1,51 @@
+// Failure injection for the simulated network.
+//
+// Nodes can be marked crashed (RPCs to them fail fast) and links can drop
+// messages with a configured probability. The Chord layer uses this to
+// exercise its successor-list repair paths under churn.
+#pragma once
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/id.hpp"
+#include "common/rng.hpp"
+
+namespace dhtidx::net {
+
+/// Thrown when an RPC cannot be delivered (dead target or dropped message).
+class RpcError : public Error {
+ public:
+  explicit RpcError(const std::string& what) : Error("rpc failed: " + what) {}
+};
+
+/// Tracks crashed nodes and message-drop probability.
+class FailureInjector {
+ public:
+  explicit FailureInjector(std::uint64_t seed = 0xfa17, double drop_probability = 0.0)
+      : rng_(seed), drop_probability_(drop_probability) {}
+
+  void crash(const Id& node) { crashed_.insert(node); }
+  void recover(const Id& node) { crashed_.erase(node); }
+  bool is_crashed(const Id& node) const { return crashed_.contains(node); }
+  std::size_t crashed_count() const { return crashed_.size(); }
+
+  void set_drop_probability(double p) { drop_probability_ = p; }
+
+  /// Throws RpcError when the message to `target` should not be delivered.
+  void check_delivery(const Id& target) {
+    if (crashed_.contains(target)) {
+      throw RpcError("node " + target.brief() + " is down");
+    }
+    if (drop_probability_ > 0.0 && rng_.next_bool(drop_probability_)) {
+      throw RpcError("message to " + target.brief() + " dropped");
+    }
+  }
+
+ private:
+  std::unordered_set<Id, IdHasher> crashed_;
+  Rng rng_;
+  double drop_probability_;
+};
+
+}  // namespace dhtidx::net

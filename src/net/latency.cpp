@@ -1,0 +1,27 @@
+#include "net/latency.hpp"
+
+#include <cmath>
+
+namespace dhtidx::net {
+
+double LatencyModel::sample_hop_ms() {
+  double sample = mean_ms_;
+  switch (distribution_) {
+    case LatencyDistribution::kConstant:
+      break;
+    case LatencyDistribution::kUniform:
+      sample = mean_ms_ * (0.5 + rng_.next_double());
+      break;
+    case LatencyDistribution::kExponential: {
+      // Inverse-transform; guard against log(0).
+      double u = rng_.next_double();
+      if (u >= 1.0) u = 0.9999999999;
+      sample = -mean_ms_ * std::log(1.0 - u);
+      break;
+    }
+  }
+  elapsed_ms_ += sample;
+  return sample;
+}
+
+}  // namespace dhtidx::net

@@ -1,0 +1,45 @@
+// Per-hop latency model for the simulated network.
+//
+// The paper deliberately does not study substrate latency ("these are
+// completely independent issues -- layered protocols"), but the library still
+// models it so that examples and ablations can report end-to-end lookup
+// times: each overlay hop samples an RTT from a configurable distribution and
+// accumulates virtual time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace dhtidx::net {
+
+/// Distribution family for one-hop round-trip times.
+enum class LatencyDistribution {
+  kConstant,     ///< always `mean_ms`
+  kUniform,      ///< uniform in [mean/2, 3*mean/2]
+  kExponential,  ///< exponential with the given mean
+};
+
+/// Samples per-hop RTTs and accumulates virtual elapsed time.
+class LatencyModel {
+ public:
+  LatencyModel(LatencyDistribution distribution, double mean_ms, std::uint64_t seed)
+      : distribution_(distribution), mean_ms_(mean_ms), rng_(seed) {}
+
+  /// Default: 50 ms exponential hops, as a rough wide-area figure.
+  LatencyModel() : LatencyModel(LatencyDistribution::kExponential, 50.0, 0x1a7e9c) {}
+
+  /// Samples one hop and adds it to the accumulated virtual time.
+  double sample_hop_ms();
+
+  double elapsed_ms() const { return elapsed_ms_; }
+  void reset_elapsed() { elapsed_ms_ = 0.0; }
+
+ private:
+  LatencyDistribution distribution_;
+  double mean_ms_;
+  Rng rng_;
+  double elapsed_ms_ = 0.0;
+};
+
+}  // namespace dhtidx::net

@@ -1,0 +1,5 @@
+#include "net/stats.hpp"
+
+// Header-only counters; this translation unit exists so the library has an
+// archive member even when no other net source is linked.
+namespace dhtidx::net {}

@@ -1,0 +1,62 @@
+// Traffic accounting for the simulated network.
+//
+// Figure 12 splits per-query traffic into "normal" (index lookups and their
+// responses) and "cache" (shortcut-creation messages); the DHT layer also
+// tracks its own routing messages. TrafficStats keeps the counters for one
+// such category, and TrafficLedger groups the categories an experiment
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dhtidx::net {
+
+/// Message/byte counters for one traffic category.
+class TrafficStats {
+ public:
+  void record(std::uint64_t bytes) {
+    ++messages_;
+    bytes_ += bytes;
+  }
+  void merge(const TrafficStats& other) {
+    messages_ += other.messages_;
+    bytes_ += other.bytes_;
+  }
+  void reset() {
+    messages_ = 0;
+    bytes_ = 0;
+  }
+
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// The traffic categories measured by the evaluation.
+struct TrafficLedger {
+  TrafficStats queries;    ///< user query messages
+  TrafficStats responses;  ///< index/result responses ("normal" traffic)
+  TrafficStats cache;      ///< shortcut-creation traffic
+  TrafficStats routing;    ///< DHT substrate routing messages
+
+  std::uint64_t normal_bytes() const { return queries.bytes() + responses.bytes(); }
+  std::uint64_t total_bytes() const { return normal_bytes() + cache.bytes() + routing.bytes(); }
+
+  void reset() {
+    queries.reset();
+    responses.reset();
+    cache.reset();
+    routing.reset();
+  }
+};
+
+/// Fixed per-message envelope cost (addressing, type, framing) added on top
+/// of payload bytes. One constant keeps query/response/cache accounting
+/// comparable across schemes.
+inline constexpr std::uint64_t kMessageOverheadBytes = 40;
+
+}  // namespace dhtidx::net

@@ -1,0 +1,71 @@
+// Metrics collected by the evaluation (Section V).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/cache.hpp"
+#include "index/scheme.hpp"
+#include "net/stats.hpp"
+
+namespace dhtidx::sim {
+
+/// Everything one simulation run measures; each field maps to a figure or
+/// table of the paper (see DESIGN.md's experiment index).
+struct SimulationResults {
+  // Configuration echo.
+  index::SchemeKind scheme = index::SchemeKind::kSimple;
+  index::CachePolicy policy = index::CachePolicy::kNone;
+  std::size_t cache_capacity = 0;
+  std::size_t nodes = 0;
+  std::size_t articles = 0;
+  std::size_t queries = 0;
+
+  // Figure 11: user-system interactions.
+  double avg_interactions = 0.0;
+
+  // Figure 12: average bytes per query, split like the stacked bars.
+  double normal_traffic_per_query = 0.0;
+  double cache_traffic_per_query = 0.0;
+
+  // Figure 13: distributed cache hit ratio, plus the share of hits that
+  // occurred on the first node of the chain (Section V-E e).
+  double hit_ratio = 0.0;
+  double first_node_hit_share = 0.0;
+
+  // Figure 14: shortcut storage.
+  double avg_cached_keys_per_node = 0.0;
+  std::size_t max_cached_keys = 0;
+  double full_cache_fraction = 0.0;   ///< bounded policies only
+  double empty_cache_fraction = 0.0;
+
+  // Section V-E f: regular keys per node (index keys + stored data keys).
+  double avg_regular_keys_per_node = 0.0;
+
+  // Figure 15: fraction of queries that accessed each node, descending.
+  std::vector<double> node_load_fractions;
+
+  // Table I / Section V-E h.
+  std::size_t non_indexed_queries = 0;
+  std::size_t failed_lookups = 0;
+  double avg_generalization_steps = 0.0;
+
+  // Section V-B: storage cost.
+  std::uint64_t index_bytes = 0;      ///< regular index state
+  std::uint64_t data_bytes = 0;       ///< stored article blobs + descriptors
+  std::size_t index_mappings = 0;
+  std::size_t index_keys = 0;
+
+  // Substrate routing cost during the query phase (zero on the instant
+  // Ring; hops and messages on Chord).
+  double avg_routing_hops_per_lookup = 0.0;
+  std::uint64_t routing_bytes = 0;
+
+  // Raw traffic ledger for the query phase.
+  net::TrafficLedger ledger;
+};
+
+/// Convenience percentile over an unsorted copy of `values` (p in [0,100]).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace dhtidx::sim

@@ -1,0 +1,202 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "dht/can.hpp"
+#include "dht/chord.hpp"
+#include "dht/pastry.hpp"
+#include "dht/ring.hpp"
+#include "workload/generator.hpp"
+
+namespace dhtidx::sim {
+
+using index::CachePolicy;
+
+SimulationResults run_simulation(const SimulationConfig& config,
+                                 const biblio::Corpus* shared_corpus) {
+  // --- build the world -----------------------------------------------------
+  std::optional<biblio::Corpus> local_corpus;
+  if (shared_corpus == nullptr) {
+    local_corpus.emplace(biblio::Corpus::generate(config.corpus));
+  }
+  const biblio::Corpus& corpus = shared_corpus ? *shared_corpus : *local_corpus;
+
+  std::optional<dht::Ring> ring_substrate;
+  std::optional<dht::ChordNetwork> chord_substrate;
+  std::optional<dht::CanNetwork> can_substrate;
+  std::optional<dht::PastryNetwork> pastry_substrate;
+  dht::Dht* substrate = nullptr;
+  switch (config.substrate) {
+    case Substrate::kRing:
+      ring_substrate.emplace(dht::Ring::with_nodes(config.nodes));
+      substrate = &*ring_substrate;
+      break;
+    case Substrate::kChord:
+      chord_substrate.emplace(config.seed ^ 0xC402D);
+      for (std::size_t i = 0; i < config.nodes; ++i) {
+        chord_substrate->add_node("node-" + std::to_string(i));
+        chord_substrate->stabilize_round(4);
+        chord_substrate->stabilize_round(4);
+      }
+      if (chord_substrate->stabilize_until_converged() < 0) {
+        throw InvariantError("chord substrate failed to converge");
+      }
+      substrate = &*chord_substrate;
+      break;
+    case Substrate::kCan:
+      can_substrate.emplace(config.seed ^ 0xCA9);
+      for (std::size_t i = 0; i < config.nodes; ++i) {
+        can_substrate->add_node("node-" + std::to_string(i));
+      }
+      substrate = &*can_substrate;
+      break;
+    case Substrate::kPastry:
+      pastry_substrate.emplace(config.seed ^ 0x9A57);
+      for (std::size_t i = 0; i < config.nodes; ++i) {
+        pastry_substrate->add_node("node-" + std::to_string(i));
+      }
+      for (int r = 0; r < 3; ++r) pastry_substrate->repair_round();
+      if (!pastry_substrate->leaf_sets_correct()) {
+        throw InvariantError("pastry substrate failed to converge");
+      }
+      substrate = &*pastry_substrate;
+      break;
+  }
+  dht::Dht& ring = *substrate;
+  net::TrafficLedger ledger;
+  storage::DhtStore store{ring, ledger};
+  index::IndexService service{ring, ledger, config.cache_capacity};
+  index::IndexBuilder builder{service, store, index::IndexingScheme::make(config.scheme)};
+
+  for (const biblio::Article& article : corpus.articles()) {
+    builder.index_file(article.descriptor(), article.file_name(), article.file_bytes);
+  }
+  // Index construction traffic is not part of the per-query measurements.
+  ledger.reset();
+  if (chord_substrate) chord_substrate->routing_stats().reset();
+  if (can_substrate) can_substrate->routing_stats().reset();
+  if (pastry_substrate) pastry_substrate->routing_stats().reset();
+
+  // --- run the query feed ---------------------------------------------------
+  index::LookupEngine engine{service, store, {config.policy}};
+  workload::PopularityModel popularity{corpus.size(), config.popularity_c,
+                                       config.popularity_alpha};
+  workload::StructureModel structure =
+      config.structure_weights.empty() ? workload::StructureModel{}
+                                       : workload::StructureModel{config.structure_weights};
+  workload::QueryGenerator generator{corpus, std::move(popularity), std::move(structure),
+                                     config.seed};
+
+  SimulationResults r;
+  r.scheme = config.scheme;
+  r.policy = config.policy;
+  r.cache_capacity = config.cache_capacity;
+  r.nodes = config.nodes;
+  r.articles = corpus.size();
+  r.queries = config.queries;
+
+  std::uint64_t total_interactions = 0;
+  std::uint64_t total_generalizations = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t first_node_hits = 0;
+  std::map<Id, std::uint64_t> node_touches;
+
+  for (std::size_t i = 0; i < config.queries; ++i) {
+    const workload::Request request = generator.next();
+    const query::Query target = corpus.article(request.article_index).msd();
+    const index::LookupOutcome outcome = engine.resolve(request.query, target);
+
+    total_interactions += static_cast<std::uint64_t>(outcome.interactions);
+    total_generalizations += static_cast<std::uint64_t>(outcome.generalization_steps);
+    if (!outcome.found) ++r.failed_lookups;
+    if (outcome.non_indexed) ++r.non_indexed_queries;
+    if (outcome.cache_hit) {
+      ++hits;
+      if (outcome.cache_hit_position == 1) ++first_node_hits;
+    }
+    std::set<Id> unique_nodes(outcome.visited_nodes.begin(), outcome.visited_nodes.end());
+    for (const Id& node : unique_nodes) ++node_touches[node];
+  }
+
+  // --- collect metrics -------------------------------------------------------
+  const double n_queries = static_cast<double>(config.queries);
+  r.avg_interactions = static_cast<double>(total_interactions) / n_queries;
+  r.avg_generalization_steps = static_cast<double>(total_generalizations) / n_queries;
+  r.normal_traffic_per_query = static_cast<double>(ledger.normal_bytes()) / n_queries;
+  r.cache_traffic_per_query = static_cast<double>(ledger.cache.bytes()) / n_queries;
+  r.hit_ratio = static_cast<double>(hits) / n_queries;
+  r.first_node_hit_share =
+      hits == 0 ? 0.0 : static_cast<double>(first_node_hits) / static_cast<double>(hits);
+  r.ledger = ledger;
+
+  // Cache occupancy across *all* nodes, including ones that never stored a
+  // shortcut (the paper reports 4.4% completely empty caches).
+  std::uint64_t cached_total = 0;
+  std::size_t full = 0;
+  std::size_t empty = 0;
+  std::size_t max_cached = 0;
+  const std::vector<Id> nodes = ring.node_ids();
+  for (const Id& node : nodes) {
+    std::size_t size = 0;
+    const auto it = service.states().find(node);
+    if (it != service.states().end()) size = it->second.cache().size();
+    cached_total += size;
+    max_cached = std::max(max_cached, size);
+    if (size == 0) ++empty;
+    if (config.cache_capacity != 0 && size >= config.cache_capacity) ++full;
+  }
+  const double n_nodes = static_cast<double>(nodes.size());
+  r.avg_cached_keys_per_node = static_cast<double>(cached_total) / n_nodes;
+  r.max_cached_keys = max_cached;
+  r.full_cache_fraction = static_cast<double>(full) / n_nodes;
+  r.empty_cache_fraction = static_cast<double>(empty) / n_nodes;
+
+  // Regular keys: index keys plus stored data keys, averaged over all nodes.
+  const index::IndexService::Totals totals = service.totals();
+  std::size_t stored_keys = 0;
+  for (const auto& [node, node_store] : store.node_stores()) {
+    stored_keys += node_store.key_count();
+  }
+  r.avg_regular_keys_per_node =
+      static_cast<double>(totals.keys + stored_keys) / n_nodes;
+  r.index_keys = totals.keys;
+  r.index_mappings = totals.mappings;
+  r.index_bytes = totals.bytes;
+  r.data_bytes = store.total_bytes();
+
+  if (chord_substrate || can_substrate || pastry_substrate) {
+    const net::TrafficStats& routing =
+        chord_substrate ? chord_substrate->routing_stats()
+        : can_substrate ? can_substrate->routing_stats()
+                        : pastry_substrate->routing_stats();
+    r.routing_bytes = routing.bytes();
+    r.avg_routing_hops_per_lookup =
+        total_interactions == 0
+            ? 0.0
+            : static_cast<double>(routing.messages()) / static_cast<double>(total_interactions);
+  }
+
+  // Figure 15: per-node share of queries, busiest first.
+  r.node_load_fractions.reserve(nodes.size());
+  for (const Id& node : nodes) {
+    const auto it = node_touches.find(node);
+    const double touches = it == node_touches.end() ? 0.0 : static_cast<double>(it->second);
+    r.node_load_fractions.push_back(touches / n_queries);
+  }
+  std::sort(r.node_load_fractions.begin(), r.node_load_fractions.end(), std::greater<>());
+
+  return r;
+}
+
+std::string config_label(const SimulationConfig& config) {
+  std::string label = index::to_string(config.scheme) + "/" + index::to_string(config.policy);
+  if (index::bounded_cache(config.policy)) {
+    label += " " + std::to_string(config.cache_capacity);
+  }
+  return label;
+}
+
+}  // namespace dhtidx::sim

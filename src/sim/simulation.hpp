@@ -1,0 +1,58 @@
+// The evaluation driver (Section V-E).
+//
+// "Our experiments simulate a P2P network of 500 nodes, on top of which a
+// distributed bibliographic database storing 10,000 articles is implemented.
+// ... Each simulation consists of sequentially feeding the indexing network
+// with 50,000 queries from our query generator."
+//
+// Simulation wires the whole stack together -- corpus, ring, storage, index
+// service, lookup engine, query generator -- runs the query feed, and
+// collects every metric of Figures 11-15 and Table I.
+#pragma once
+
+#include <optional>
+
+#include "biblio/corpus.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+#include "sim/metrics.hpp"
+
+namespace dhtidx::sim {
+
+/// Which key-to-node substrate the run uses. The paper's claim (Section V-E)
+/// is that this does not affect any indexing metric; kChord exists to verify
+/// that and to measure substrate routing cost.
+enum class Substrate { kRing, kChord, kCan, kPastry };
+
+/// Parameters of one run. Defaults are the paper's setup.
+struct SimulationConfig {
+  std::size_t nodes = 500;
+  std::size_t queries = 50000;
+  Substrate substrate = Substrate::kRing;
+  index::SchemeKind scheme = index::SchemeKind::kSimple;
+  index::CachePolicy policy = index::CachePolicy::kNone;
+  std::size_t cache_capacity = 0;  ///< per node; 0 = unbounded (for LRU use 10/20/30)
+  std::uint64_t seed = 7;
+
+  biblio::CorpusConfig corpus;  ///< corpus.articles defaults to 10,000
+
+  /// Popularity power law; defaults to the paper's fit (c=0.063, alpha=0.3).
+  double popularity_c = 0.063;
+  double popularity_alpha = 0.3;
+
+  /// Query-structure weights; empty = paper defaults.
+  std::vector<double> structure_weights;
+};
+
+/// Runs one complete experiment and returns its measurements.
+///
+/// A shared corpus can be passed in so that sweeps over schemes/policies
+/// reuse the same database (as the paper does); when absent it is generated
+/// from config.corpus.
+SimulationResults run_simulation(const SimulationConfig& config,
+                                 const biblio::Corpus* shared_corpus = nullptr);
+
+/// Helper used by benches: a human-readable label like "simple/LRU 10".
+std::string config_label(const SimulationConfig& config);
+
+}  // namespace dhtidx::sim

@@ -1,0 +1,148 @@
+#include "storage/dht_store.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dhtidx::storage {
+
+StoreResult DhtStore::put(const Id& key, Record record) {
+  const dht::LookupResult where = dht_.lookup(key);
+  const std::uint64_t request_bytes =
+      Id::kBytes + record.kind.size() + record.payload.size() + net::kMessageOverheadBytes;
+  if (replication_ == 1) {
+    ledger_.queries.record(request_bytes);
+    stores_[where.node].put(key, std::move(record));
+    return StoreResult{where.node, where.hops};
+  }
+  for (const Id& replica : dht_.replica_set(key, replication_)) {
+    ledger_.queries.record(request_bytes);
+    stores_[replica].put(key, record);
+  }
+  return StoreResult{where.node, where.hops};
+}
+
+DhtStore::GetResult DhtStore::get(const Id& key) {
+  GetResult result;
+  const std::vector<Id> replicas =
+      replication_ == 1 ? std::vector<Id>{dht_.lookup(key).node}
+                        : dht_.replica_set(key, replication_);
+  result.hops = dht_.lookup(key).hops;
+  result.replicas_tried = 0;
+  const std::vector<Record>* found = nullptr;
+  for (const Id& replica : replicas) {
+    ++result.replicas_tried;
+    ledger_.queries.record(Id::kBytes + net::kMessageOverheadBytes);
+    const std::vector<Record>& records = stores_[replica].get(key);
+    result.node = replica;
+    if (!records.empty() || result.replicas_tried == static_cast<int>(replicas.size())) {
+      found = &records;
+      break;
+    }
+  }
+  std::uint64_t response_bytes = net::kMessageOverheadBytes;
+  for (const Record& r : *found) {
+    // Virtual blob bytes are not charged: the evaluation measures index and
+    // metadata traffic, not file downloads (Section V-D).
+    response_bytes += r.kind.size() + r.payload.size();
+  }
+  ledger_.responses.record(response_bytes);
+  result.records = found;
+  return result;
+}
+
+DhtStore::RemoveResult DhtStore::remove(const Id& key, const Record& record) {
+  const dht::LookupResult where = dht_.lookup(key);
+  RemoveResult result{where.node, false, where.hops};
+  const std::vector<Id> replicas =
+      replication_ == 1 ? std::vector<Id>{where.node}
+                        : dht_.replica_set(key, replication_);
+  for (const Id& replica : replicas) {
+    ledger_.queries.record(Id::kBytes + record.kind.size() + record.payload.size() +
+                           net::kMessageOverheadBytes);
+    result.removed = stores_[replica].remove(key, record) || result.removed;
+  }
+  return result;
+}
+
+std::size_t DhtStore::rebalance() {
+  std::size_t moved = 0;
+  // Two passes: compute misplaced records first, then move, so we never
+  // invalidate iterators of the map we are walking.
+  std::vector<std::pair<Id, Id>> moves;  // (from node, key)
+  for (const auto& [node, store] : stores_) {
+    for (const Id& key : store.keys()) {
+      const std::vector<Id> replicas = dht_.replica_set(key, replication_);
+      if (std::find(replicas.begin(), replicas.end(), node) == replicas.end()) {
+        moves.emplace_back(node, key);
+      }
+    }
+  }
+  for (const auto& [from, key] : moves) {
+    const Id to = dht_.lookup(key).node;
+    NodeStore& source = stores_[from];
+    NodeStore& destination = stores_[to];
+    std::vector<Record> records = source.get(key);  // copy before erasing
+    source.erase(key);
+    for (Record& r : records) {
+      // The primary may already hold a replica of this record.
+      const std::vector<Record>& existing = destination.get(key);
+      if (std::find(existing.begin(), existing.end(), r) != existing.end()) continue;
+      destination.put(key, std::move(r));
+      ++moved;
+    }
+  }
+
+  // Replication repair: membership changes degrade the copy count (a failed
+  // replica's records survive elsewhere but with one copy fewer). Re-create
+  // missing copies so every record is back at its full replica set.
+  if (replication_ > 1) {
+    std::vector<std::pair<Id, Record>> copies;  // (destination node, record) per key
+    std::vector<Id> copy_keys;
+    for (const auto& [node, store] : stores_) {
+      for (const Id& key : store.keys()) {
+        for (const Id& replica : dht_.replica_set(key, replication_)) {
+          if (replica == node) continue;
+          const std::vector<Record>& theirs = stores_[replica].get(key);
+          for (const Record& r : store.get(key)) {
+            if (std::find(theirs.begin(), theirs.end(), r) == theirs.end()) {
+              copies.emplace_back(replica, r);
+              copy_keys.push_back(key);
+            }
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+      // Re-check: an earlier copy in this batch may have filled the gap.
+      const std::vector<Record>& existing = stores_[copies[i].first].get(copy_keys[i]);
+      if (std::find(existing.begin(), existing.end(), copies[i].second) != existing.end()) {
+        continue;
+      }
+      stores_[copies[i].first].put(copy_keys[i], copies[i].second);
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+std::size_t DhtStore::drop_node(const Id& node) {
+  const auto it = stores_.find(node);
+  if (it == stores_.end()) return 0;
+  const std::size_t lost = it->second.record_count();
+  stores_.erase(it);
+  return lost;
+}
+
+std::uint64_t DhtStore::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [node, store] : stores_) total += store.byte_size();
+  return total;
+}
+
+std::size_t DhtStore::total_records() const {
+  std::size_t total = 0;
+  for (const auto& [node, store] : stores_) total += store.record_count();
+  return total;
+}
+
+}  // namespace dhtidx::storage

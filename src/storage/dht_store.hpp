@@ -1,0 +1,86 @@
+// DHT-backed storage facade.
+//
+// Routes put/get/remove operations to the node responsible for each key
+// (resolved through any Dht implementation) and keeps one NodeStore per peer.
+// This is the "Publication index" of Figure 5: the raw key-to-data layer on
+// which the query indexes sit.
+#pragma once
+
+#include <map>
+
+#include "dht/dht.hpp"
+#include "net/stats.hpp"
+#include "storage/node_store.hpp"
+
+namespace dhtidx::storage {
+
+/// Outcome of a storage operation, for hop/traffic-aware callers.
+struct StoreResult {
+  Id node;       ///< peer that served the operation
+  int hops = 0;  ///< substrate routing hops
+};
+
+/// Key/value storage distributed over a Dht.
+class DhtStore {
+ public:
+  /// `dht` and `ledger` must outlive the store. Traffic for storage
+  /// operations is recorded into the ledger's query/response categories.
+  /// `replication` copies of each record are kept on the key's replica set
+  /// (Section IV-D: the index "can benefit from the mechanisms implemented
+  /// by the DHT substrate ... such as data replication").
+  DhtStore(dht::Dht& dht, net::TrafficLedger& ledger, std::size_t replication = 1)
+      : dht_(dht), ledger_(ledger), replication_(replication < 1 ? 1 : replication) {}
+
+  std::size_t replication() const { return replication_; }
+
+  /// Stores `record` at the responsible node (and its replicas).
+  StoreResult put(const Id& key, Record record);
+
+  /// Fetches all records under `key`. The responsible node is asked first;
+  /// when it has nothing (e.g. it lost its store in a crash), the remaining
+  /// replicas are tried in order, one extra request each.
+  struct GetResult {
+    const std::vector<Record>* records;  ///< never null; may be empty
+    Id node;
+    int hops = 0;
+    int replicas_tried = 1;
+  };
+  GetResult get(const Id& key);
+
+  /// Removes one matching record. Returns the serving node and whether a
+  /// record was removed.
+  struct RemoveResult {
+    Id node;
+    bool removed = false;
+    int hops = 0;
+  };
+  RemoveResult remove(const Id& key, const Record& record);
+
+  /// Direct access to a node's local store (metrics, tests, migration).
+  NodeStore& node_store(const Id& node) { return stores_[node]; }
+  const std::map<Id, NodeStore>& node_stores() const { return stores_; }
+
+  /// Re-homes every record according to the current Dht membership: records
+  /// on nodes outside their key's replica set move to the primary. Returns
+  /// the number of records moved. Call after membership changes.
+  std::size_t rebalance();
+
+  /// Simulates losing a node's disk (crash without recovery). Returns the
+  /// number of records destroyed. With replication > 1 the data remains
+  /// readable from the other replicas.
+  std::size_t drop_node(const Id& node);
+
+  /// Total stored bytes across all nodes.
+  std::uint64_t total_bytes() const;
+
+  /// Total records across all nodes.
+  std::size_t total_records() const;
+
+ private:
+  dht::Dht& dht_;
+  net::TrafficLedger& ledger_;
+  std::size_t replication_;
+  std::map<Id, NodeStore> stores_;
+};
+
+}  // namespace dhtidx::storage

@@ -1,0 +1,51 @@
+#include "storage/node_store.hpp"
+
+#include <algorithm>
+
+namespace dhtidx::storage {
+
+namespace {
+const std::vector<Record> kEmpty;
+}
+
+void NodeStore::put(const Id& key, Record record) {
+  bytes_ += record.byte_size();
+  ++record_count_;
+  items_[key].push_back(std::move(record));
+}
+
+const std::vector<Record>& NodeStore::get(const Id& key) const {
+  const auto it = items_.find(key);
+  return it == items_.end() ? kEmpty : it->second;
+}
+
+bool NodeStore::remove(const Id& key, const Record& record) {
+  const auto it = items_.find(key);
+  if (it == items_.end()) return false;
+  const auto pos = std::find(it->second.begin(), it->second.end(), record);
+  if (pos == it->second.end()) return false;
+  bytes_ -= pos->byte_size();
+  --record_count_;
+  it->second.erase(pos);
+  if (it->second.empty()) items_.erase(it);
+  return true;
+}
+
+std::size_t NodeStore::erase(const Id& key) {
+  const auto it = items_.find(key);
+  if (it == items_.end()) return 0;
+  const std::size_t count = it->second.size();
+  for (const Record& r : it->second) bytes_ -= r.byte_size();
+  record_count_ -= count;
+  items_.erase(it);
+  return count;
+}
+
+std::vector<Id> NodeStore::keys() const {
+  std::vector<Id> out;
+  out.reserve(items_.size());
+  for (const auto& [key, records] : items_) out.push_back(key);
+  return out;
+}
+
+}  // namespace dhtidx::storage

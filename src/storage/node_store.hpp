@@ -1,0 +1,85 @@
+// Per-node key/value storage.
+//
+// Section IV requires the underlying storage system "to allow for the
+// registration of multiple entries using the same key", so a NodeStore is a
+// multimap from keys to records. Records carry a kind tag, an inline payload
+// (descriptor XML, serialized queries, ...) and an optional virtual payload
+// size for blobs the simulation does not materialize (the ~250 KB article
+// files of Section V-B).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/id.hpp"
+
+namespace dhtidx::storage {
+
+/// One stored item.
+struct Record {
+  std::string kind;     ///< application tag, e.g. "file"
+  std::string payload;  ///< inline content
+  std::uint64_t virtual_payload_bytes = 0;  ///< simulated blob size
+
+  /// Total bytes this record accounts for.
+  std::uint64_t byte_size() const {
+    return kind.size() + payload.size() + virtual_payload_bytes;
+  }
+
+  bool operator==(const Record&) const = default;
+};
+
+/// The storage of a single peer: an Id-keyed multimap with byte accounting.
+class NodeStore {
+ public:
+  /// Appends a record under `key` (duplicates allowed).
+  void put(const Id& key, Record record);
+
+  /// All records under `key` (empty when none).
+  const std::vector<Record>& get(const Id& key) const;
+
+  /// Removes the first record equal to `record` under `key`.
+  /// Returns true when something was removed.
+  bool remove(const Id& key, const Record& record);
+
+  /// Removes every record under `key`; returns how many were removed.
+  std::size_t erase(const Id& key);
+
+  bool contains(const Id& key) const { return items_.contains(key); }
+
+  std::size_t key_count() const { return items_.size(); }
+  std::size_t record_count() const { return record_count_; }
+  std::uint64_t byte_size() const { return bytes_; }
+
+  std::vector<Id> keys() const;
+
+  /// Moves every (key, record) pair for which `predicate(key)` holds into
+  /// `destination`. Used for key handoff when responsibility changes.
+  template <typename Predicate>
+  std::size_t transfer_if(NodeStore& destination, Predicate predicate) {
+    std::size_t moved = 0;
+    for (auto it = items_.begin(); it != items_.end();) {
+      if (predicate(it->first)) {
+        for (Record& r : it->second) {
+          ++moved;
+          bytes_ -= r.byte_size();
+          --record_count_;
+          destination.put(it->first, std::move(r));
+        }
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return moved;
+  }
+
+ private:
+  std::map<Id, std::vector<Record>> items_;
+  std::size_t record_count_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace dhtidx::storage

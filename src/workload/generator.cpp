@@ -1,0 +1,13 @@
+#include "workload/generator.hpp"
+
+namespace dhtidx::workload {
+
+Request QueryGenerator::next() {
+  Request request;
+  request.article_index = popularity_.sample(rng_) - 1;
+  request.structure = structure_.sample(rng_);
+  request.query = build_query(corpus_.article(request.article_index), request.structure);
+  return request;
+}
+
+}  // namespace dhtidx::workload

@@ -1,0 +1,54 @@
+// The realistic query generator (Section V-C).
+//
+// "When constructing the query workload for the simulation, we first choose
+// an article according to the popularity distribution. Then, we select the
+// structure of the query and assign the corresponding fields." Each generated
+// request carries both the query and the article the user is after, so the
+// lookup engine can play the user's role of recognizing the right refinement.
+#pragma once
+
+#include <cstddef>
+
+#include "biblio/corpus.hpp"
+#include "common/rng.hpp"
+#include "workload/popularity.hpp"
+#include "workload/structure.hpp"
+
+namespace dhtidx::workload {
+
+/// One generated user request.
+struct Request {
+  std::size_t article_index = 0;  ///< into the corpus (also popularity rank - 1)
+  QueryStructure structure = QueryStructure::kAuthor;
+  query::Query query;
+};
+
+/// Draws requests from the popularity and structure models.
+class QueryGenerator {
+ public:
+  /// The corpus must outlive the generator. Article popularity rank i maps
+  /// to corpus index i-1 (corpus order defines the popularity ranking).
+  QueryGenerator(const biblio::Corpus& corpus, PopularityModel popularity,
+                 StructureModel structure, std::uint64_t seed)
+      : corpus_(corpus),
+        popularity_(std::move(popularity)),
+        structure_(std::move(structure)),
+        rng_(seed) {}
+
+  /// Paper defaults over the given corpus.
+  QueryGenerator(const biblio::Corpus& corpus, std::uint64_t seed)
+      : QueryGenerator(corpus, PopularityModel{corpus.size()}, StructureModel{}, seed) {}
+
+  Request next();
+
+  const PopularityModel& popularity() const { return popularity_; }
+  const StructureModel& structure() const { return structure_; }
+
+ private:
+  const biblio::Corpus& corpus_;
+  PopularityModel popularity_;
+  StructureModel structure_;
+  Rng rng_;
+};
+
+}  // namespace dhtidx::workload

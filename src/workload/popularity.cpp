@@ -1,0 +1,31 @@
+#include "workload/popularity.hpp"
+
+#include <algorithm>
+
+namespace dhtidx::workload {
+
+PopularityCurve curve_from_counts(std::vector<std::uint64_t> counts) {
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  while (!counts.empty() && counts.back() == 0) counts.pop_back();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  PopularityCurve curve;
+  if (total == 0) return curve;
+  curve.probabilities_by_rank.reserve(counts.size());
+  for (const std::uint64_t c : counts) {
+    curve.probabilities_by_rank.push_back(static_cast<double>(c) /
+                                          static_cast<double>(total));
+  }
+  return curve;
+}
+
+PopularityCurve observe_model(const PopularityModel& model, std::size_t requests,
+                              Rng& rng) {
+  std::vector<std::uint64_t> counts(model.size(), 0);
+  for (std::size_t i = 0; i < requests; ++i) {
+    ++counts[model.sample(rng) - 1];
+  }
+  return curve_from_counts(std::move(counts));
+}
+
+}  // namespace dhtidx::workload

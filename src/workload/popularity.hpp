@@ -1,0 +1,42 @@
+// Popularity modelling and fitting (Section V-C b, Figures 9 and 10).
+//
+// The paper observes that author/article request probabilities in the
+// BibFinder, NetBib and CiteSeer traces follow power laws, fits the BibFinder
+// author curve by least squares, and derives the closed-form article
+// popularity CCDF Fbar(i) = 1 - 0.063 * i^0.3 used by the simulations.
+// This module re-exports the closed-form sampler and provides the empirical
+// side: turning observed request counts into rank/probability curves and
+// fitting power laws to them, which is exactly the procedure behind Figure 9.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/distributions.hpp"
+#include "common/fit.hpp"
+#include "common/rng.hpp"
+
+namespace dhtidx::workload {
+
+/// The paper's article-popularity model (re-export for workload users).
+using PopularityModel = PowerLawPopularity;
+
+/// A rank-ordered empirical popularity curve: probabilities_by_rank[0] is the
+/// most requested item's share of all requests.
+struct PopularityCurve {
+  std::vector<double> probabilities_by_rank;
+
+  /// Least-squares power-law fit in log-log space (the paper's "minimum
+  /// square method").
+  PowerLawFit fit() const { return fit_power_law(probabilities_by_rank); }
+};
+
+/// Builds a popularity curve from raw per-item request counts.
+PopularityCurve curve_from_counts(std::vector<std::uint64_t> counts);
+
+/// Generates a synthetic request log of `requests` draws from `model` over
+/// items 1..model.size() and returns the observed curve. Used to validate
+/// that sampling reproduces the closed-form distribution (Figure 9's shape).
+PopularityCurve observe_model(const PopularityModel& model, std::size_t requests, Rng& rng);
+
+}  // namespace dhtidx::workload

@@ -1,0 +1,72 @@
+#include "workload/structure.hpp"
+
+#include "common/error.hpp"
+
+namespace dhtidx::workload {
+
+std::string to_string(QueryStructure structure) {
+  switch (structure) {
+    case QueryStructure::kAuthor:
+      return "author";
+    case QueryStructure::kTitle:
+      return "title";
+    case QueryStructure::kYear:
+      return "year";
+    case QueryStructure::kAuthorTitle:
+      return "author+title";
+    case QueryStructure::kAuthorYear:
+      return "author+year";
+  }
+  return "?";
+}
+
+query::Query build_query(const biblio::Article& article, QueryStructure structure) {
+  switch (structure) {
+    case QueryStructure::kAuthor:
+      return article.author_query();
+    case QueryStructure::kTitle:
+      return article.title_query();
+    case QueryStructure::kYear:
+      return article.year_query();
+    case QueryStructure::kAuthorTitle:
+      return article.author_title_query();
+    case QueryStructure::kAuthorYear:
+      return article.author_year_query();
+  }
+  throw InvariantError("unknown query structure");
+}
+
+StructureModel::StructureModel() : StructureModel({0.60, 0.20, 0.10, 0.05, 0.05}) {}
+
+StructureModel::StructureModel(const std::vector<double>& weights) : sampler_(weights) {
+  if (weights.size() != std::size(kAllStructures)) {
+    throw InvariantError("StructureModel needs one weight per query structure");
+  }
+}
+
+QueryStructure StructureModel::sample(Rng& rng) const {
+  return kAllStructures[sampler_.sample(rng)];
+}
+
+double StructureModel::probability(QueryStructure structure) const {
+  for (std::size_t i = 0; i < std::size(kAllStructures); ++i) {
+    if (kAllStructures[i] == structure) return sampler_.probability(i);
+  }
+  return 0.0;
+}
+
+const std::vector<BibFinderQueryType>& bibfinder_query_types() {
+  // Figure 7: share of the 9,108 logged queries per field combination.
+  static const std::vector<BibFinderQueryType> kTypes = {
+      {"/author", 0.57},
+      {"/title", 0.20},
+      {"/author/title", 0.065},
+      {"/author/year", 0.055},
+      {"/title/year", 0.035},
+      {"/author/title/year", 0.025},
+      {"others", 0.05},
+  };
+  return kTypes;
+}
+
+}  // namespace dhtidx::workload

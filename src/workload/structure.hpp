@@ -1,0 +1,68 @@
+// Query-structure model (Figure 7 and Section V-C a).
+//
+// The BibFinder and NetBib logs show that users query mainly by author, then
+// title, then publication date. The simulation workload uses the paper's
+// reduced distribution: author 0.60, title 0.20, year 0.10, author+title
+// 0.05, author+year 0.05. The full BibFinder breakdown (Figure 7) is also
+// provided for the figure-reproduction bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "biblio/article.hpp"
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+#include "query/query.hpp"
+
+namespace dhtidx::workload {
+
+/// The query shapes the simulation issues.
+enum class QueryStructure {
+  kAuthor,
+  kTitle,
+  kYear,
+  kAuthorTitle,
+  kAuthorYear,
+};
+
+inline constexpr QueryStructure kAllStructures[] = {
+    QueryStructure::kAuthor,      QueryStructure::kTitle,
+    QueryStructure::kYear,        QueryStructure::kAuthorTitle,
+    QueryStructure::kAuthorYear,
+};
+
+std::string to_string(QueryStructure structure);
+
+/// Builds the query of the given structure for a concrete article.
+query::Query build_query(const biblio::Article& article, QueryStructure structure);
+
+/// Samples query structures with the paper's Section V-C probabilities.
+class StructureModel {
+ public:
+  /// Paper defaults: author .60, title .20, year .10, author+title .05,
+  /// author+year .05.
+  StructureModel();
+
+  /// Custom weights, one per kAllStructures entry.
+  explicit StructureModel(const std::vector<double>& weights);
+
+  QueryStructure sample(Rng& rng) const;
+  double probability(QueryStructure structure) const;
+
+ private:
+  DiscreteSampler sampler_;
+};
+
+/// One bar of Figure 7: a query-type label with its share of the BibFinder
+/// log (9,108 queries).
+struct BibFinderQueryType {
+  std::string fields;
+  double fraction;
+};
+
+/// The distribution of query types extracted from BibFinder's log
+/// (Figure 7; types above 1%).
+const std::vector<BibFinderQueryType>& bibfinder_query_types();
+
+}  // namespace dhtidx::workload

@@ -1,0 +1,62 @@
+#include "xml/node.hpp"
+
+namespace dhtidx::xml {
+
+std::optional<std::string> Element::attribute(const std::string& key) const {
+  const auto it = attributes_.find(key);
+  if (it == attributes_.end()) return std::nullopt;
+  return it->second;
+}
+
+Element& Element::add_child(Element child) {
+  children_.push_back(std::move(child));
+  return children_.back();
+}
+
+Element& Element::add_child(std::string name, std::string text) {
+  return add_child(Element{std::move(name), std::move(text)});
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const Element& c : children_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view name) const {
+  std::vector<const Element*> matches;
+  for (const Element& c : children_) {
+    if (c.name() == name) matches.push_back(&c);
+  }
+  return matches;
+}
+
+const Element* Element::find_descendant(std::string_view name) const {
+  for (const Element& c : children_) {
+    if (c.name() == name) return &c;
+    if (const Element* found = c.find_descendant(name)) return found;
+  }
+  return nullptr;
+}
+
+std::size_t Element::subtree_size() const {
+  std::size_t count = 1;
+  for (const Element& c : children_) count += c.subtree_size();
+  return count;
+}
+
+std::size_t Element::byte_size() const {
+  // <name>...</name> plus attributes plus text, ignoring indentation.
+  std::size_t bytes = 2 * name_.size() + 5 + text_.size();
+  for (const auto& [key, value] : attributes_) bytes += key.size() + value.size() + 4;
+  for (const Element& c : children_) bytes += c.byte_size();
+  return bytes;
+}
+
+bool Element::operator==(const Element& other) const {
+  return name_ == other.name_ && text_ == other.text_ &&
+         attributes_ == other.attributes_ && children_ == other.children_;
+}
+
+}  // namespace dhtidx::xml

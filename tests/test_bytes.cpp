@@ -1,0 +1,41 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dhtidx {
+namespace {
+
+TEST(ByteCounter, AccumulatesTotalsAndEvents) {
+  ByteCounter counter;
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_EQ(counter.events(), 0u);
+  EXPECT_DOUBLE_EQ(counter.mean(), 0.0);
+  counter.add(100);
+  counter.add(50);
+  EXPECT_EQ(counter.total(), 150u);
+  EXPECT_EQ(counter.events(), 2u);
+  EXPECT_DOUBLE_EQ(counter.mean(), 75.0);
+}
+
+TEST(ByteCounter, ResetClears) {
+  ByteCounter counter;
+  counter.add(10);
+  counter.reset();
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_EQ(counter.events(), 0u);
+}
+
+TEST(FormatBytes, PlainBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(999), "999 B");
+}
+
+TEST(FormatBytes, DecimalUnits) {
+  EXPECT_EQ(format_bytes(1000), "1.00 KB");
+  EXPECT_EQ(format_bytes(250000), "250.00 KB");
+  EXPECT_EQ(format_bytes(29100000000ull), "29.10 GB");
+  EXPECT_EQ(format_bytes(152000000), "152.00 MB");
+}
+
+}  // namespace
+}  // namespace dhtidx

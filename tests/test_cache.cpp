@@ -1,0 +1,161 @@
+#include "index/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dhtidx::index {
+namespace {
+
+using query::Query;
+
+Query q(const std::string& text) { return Query::parse(text); }
+
+TEST(ShortcutCache, InsertAndFind) {
+  ShortcutCache cache;
+  const Query source = q("/article/author/last/Smith");
+  const Query target = q("/article[author/last=Smith][title=TCP]");
+  EXPECT_TRUE(cache.insert(source, target));
+  EXPECT_TRUE(cache.contains(source, target));
+  const auto found = cache.find(source);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(*found[0], target);
+}
+
+TEST(ShortcutCache, ReinsertOnlyTouches) {
+  ShortcutCache cache;
+  const Query source = q("/article/author/last/Smith");
+  const Query target = q("/article[title=TCP]");
+  EXPECT_TRUE(cache.insert(source, target));
+  EXPECT_FALSE(cache.insert(source, target));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShortcutCache, MultipleTargetsPerSource) {
+  ShortcutCache cache;
+  const Query source = q("/article/author/last/Smith");
+  cache.insert(source, q("/article[title=TCP]"));
+  cache.insert(source, q("/article[title=IPv6]"));
+  EXPECT_EQ(cache.find(source).size(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShortcutCache, MissIsEmpty) {
+  ShortcutCache cache;
+  EXPECT_TRUE(cache.find(q("/article/title/Nope")).empty());
+  EXPECT_FALSE(cache.contains(q("/article/title/Nope"), q("/article[year=1]")));
+}
+
+TEST(ShortcutCache, LruEvictsOldestEntry) {
+  ShortcutCache cache{2};
+  const Query a = q("/article/title/A");
+  const Query b = q("/article/title/B");
+  const Query c = q("/article/title/C");
+  const Query target = q("/article[year=2000]");
+  cache.insert(a, target);
+  cache.insert(b, target);
+  cache.insert(c, target);  // evicts a
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.contains(a, target));
+  EXPECT_TRUE(cache.contains(b, target));
+  EXPECT_TRUE(cache.contains(c, target));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ShortcutCache, TouchProtectsFromEviction) {
+  ShortcutCache cache{2};
+  const Query a = q("/article/title/A");
+  const Query b = q("/article/title/B");
+  const Query c = q("/article/title/C");
+  const Query target = q("/article[year=2000]");
+  cache.insert(a, target);
+  cache.insert(b, target);
+  cache.touch(a, target);   // a becomes most recent
+  cache.insert(c, target);  // evicts b, not a
+  EXPECT_TRUE(cache.contains(a, target));
+  EXPECT_FALSE(cache.contains(b, target));
+}
+
+TEST(ShortcutCache, ReinsertAlsoRefreshesRecency) {
+  ShortcutCache cache{2};
+  const Query a = q("/article/title/A");
+  const Query b = q("/article/title/B");
+  const Query c = q("/article/title/C");
+  const Query target = q("/article[year=2000]");
+  cache.insert(a, target);
+  cache.insert(b, target);
+  cache.insert(a, target);  // refresh a
+  cache.insert(c, target);  // evicts b
+  EXPECT_TRUE(cache.contains(a, target));
+  EXPECT_FALSE(cache.contains(b, target));
+}
+
+TEST(ShortcutCache, FullReportsCapacityReached) {
+  ShortcutCache cache{2};
+  EXPECT_FALSE(cache.full());
+  cache.insert(q("/a/x/1"), q("/a[y=1]"));
+  EXPECT_FALSE(cache.full());
+  cache.insert(q("/a/x/2"), q("/a[y=2]"));
+  EXPECT_TRUE(cache.full());
+}
+
+TEST(ShortcutCache, UnboundedNeverEvicts) {
+  ShortcutCache cache;  // capacity 0
+  const Query target = q("/article[year=2000]");
+  for (int i = 0; i < 500; ++i) {
+    cache.insert(q("/article/title/T" + std::to_string(i)), target);
+  }
+  EXPECT_EQ(cache.size(), 500u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_FALSE(cache.full());
+}
+
+TEST(ShortcutCache, ByteAccountingFollowsInsertAndEvict) {
+  ShortcutCache cache{1};
+  const Query a = q("/article/title/A");
+  const Query t = q("/article[year=2000]");
+  cache.insert(a, t);
+  const auto bytes = cache.byte_size();
+  EXPECT_EQ(bytes, a.byte_size() + t.byte_size());
+  cache.insert(q("/article/title/B"), t);  // evicts a
+  EXPECT_GT(cache.byte_size(), 0u);
+  EXPECT_NE(cache.byte_size(), bytes + q("/article/title/B").byte_size() + t.byte_size());
+}
+
+TEST(ShortcutCache, EvictionCleansSourceBucket) {
+  ShortcutCache cache{1};
+  const Query a = q("/article/title/A");
+  const Query t1 = q("/article[year=1]");
+  cache.insert(a, t1);
+  cache.insert(q("/article/title/B"), t1);
+  EXPECT_TRUE(cache.find(a).empty());
+}
+
+TEST(CachePolicyHelpers, Classification) {
+  EXPECT_FALSE(caching_enabled(CachePolicy::kNone));
+  EXPECT_TRUE(caching_enabled(CachePolicy::kSingle));
+  EXPECT_TRUE(multi_placement(CachePolicy::kMulti));
+  EXPECT_TRUE(multi_placement(CachePolicy::kLruMulti));
+  EXPECT_FALSE(multi_placement(CachePolicy::kSingle));
+  EXPECT_TRUE(bounded_cache(CachePolicy::kLru));
+  EXPECT_FALSE(bounded_cache(CachePolicy::kMulti));
+  EXPECT_EQ(to_string(CachePolicy::kLru), "lru");
+  EXPECT_EQ(to_string(CachePolicy::kNone), "no-cache");
+}
+
+class LruCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LruCapacitySweep, SizeNeverExceedsCapacity) {
+  const std::size_t capacity = GetParam();
+  ShortcutCache cache{capacity};
+  const Query t = q("/article[year=2000]");
+  for (int i = 0; i < 200; ++i) {
+    cache.insert(q("/article/title/T" + std::to_string(i)), t);
+    EXPECT_LE(cache.size(), capacity);
+  }
+  EXPECT_EQ(cache.size(), capacity);
+  EXPECT_EQ(cache.evictions(), 200u - capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruCapacitySweep, ::testing::Values(1, 10, 20, 30, 100));
+
+}  // namespace
+}  // namespace dhtidx::index

@@ -1,0 +1,183 @@
+// CAN substrate correctness: zone partitioning, greedy routing, takeover,
+// and full-stack operation of the index layer over a torus geometry.
+#include "dht/can.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "biblio/corpus.hpp"
+#include "common/error.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+
+namespace dhtidx::dht {
+namespace {
+
+CanNetwork make_network(std::size_t n, std::uint64_t seed = 7) {
+  CanNetwork net{seed};
+  for (std::size_t i = 0; i < n; ++i) net.add_node("can-" + std::to_string(i));
+  return net;
+}
+
+TEST(CanZone, ContainsHalfOpen) {
+  const CanZone z{{0.25, 0.25}, {0.5, 0.5}};
+  EXPECT_TRUE(z.contains({0.25, 0.25}));
+  EXPECT_TRUE(z.contains({0.4, 0.4}));
+  EXPECT_FALSE(z.contains({0.5, 0.4}));
+  EXPECT_FALSE(z.contains({0.4, 0.5}));
+  EXPECT_FALSE(z.contains({0.1, 0.4}));
+}
+
+TEST(CanZone, DistanceToPoint) {
+  const CanZone z{{0.0, 0.0}, {0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(z.distance_to({0.25, 0.25}), 0.0);
+  EXPECT_DOUBLE_EQ(z.distance_to({0.75, 0.25}), 0.25);
+  // Torus wrap: 0.95 is 0.05 away from the zone's low x edge.
+  EXPECT_NEAR(z.distance_to({0.95, 0.25}), 0.05, 1e-12);
+}
+
+TEST(CanZone, Adjacency) {
+  const CanZone left{{0.0, 0.0}, {0.5, 1.0}};
+  const CanZone right{{0.5, 0.0}, {1.0, 1.0}};
+  EXPECT_TRUE(CanZone::adjacent(left, right));
+  // They also touch across the torus wrap (x = 0 / x = 1).
+  const CanZone top{{0.0, 0.5}, {0.5, 1.0}};
+  const CanZone bottom{{0.0, 0.0}, {0.5, 0.5}};
+  EXPECT_TRUE(CanZone::adjacent(top, bottom));
+  // Diagonal corner contact is not adjacency (no shared border extent).
+  const CanZone q1{{0.0, 0.0}, {0.5, 0.5}};
+  const CanZone q3{{0.5, 0.5}, {1.0, 1.0}};
+  EXPECT_FALSE(CanZone::adjacent(q1, q3));
+}
+
+TEST(Can, FirstNodeOwnsWholeSpace) {
+  CanNetwork net = make_network(1);
+  ASSERT_EQ(net.zones_of(net.node_ids().front()).size(), 1u);
+  EXPECT_TRUE(net.zones_partition_space());
+  EXPECT_EQ(net.lookup(Id::hash("any")).node, net.node_ids().front());
+}
+
+class CanPartitionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CanPartitionTest, ZonesAlwaysPartitionTheSpace) {
+  const CanNetwork net = make_network(GetParam());
+  EXPECT_TRUE(net.zones_partition_space());
+  EXPECT_EQ(net.size(), GetParam());
+}
+
+TEST_P(CanPartitionTest, LookupAgreesWithZoneOwnership) {
+  CanNetwork net = make_network(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    const Id key = Id::hash("key-" + std::to_string(i));
+    const CanPoint p = CanNetwork::point_of(key);
+    const LookupResult routed = net.lookup(key);
+    // The routed owner's zones must contain the point.
+    bool contains = false;
+    for (const CanZone& z : net.zones_of(routed.node)) {
+      if (z.contains(p)) contains = true;
+    }
+    EXPECT_TRUE(contains) << key.brief();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CanPartitionTest, ::testing::Values(1, 2, 3, 8, 32, 100));
+
+TEST(Can, PointMappingIsDeterministicAndSpread) {
+  const CanPoint a = CanNetwork::point_of(Id::hash("x"));
+  const CanPoint b = CanNetwork::point_of(Id::hash("x"));
+  EXPECT_DOUBLE_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.y, b.y);
+  // Points of distinct keys spread over the square.
+  std::set<int> cells;
+  for (int i = 0; i < 200; ++i) {
+    const CanPoint p = CanNetwork::point_of(Id::hash("spread-" + std::to_string(i)));
+    cells.insert(static_cast<int>(p.x * 4) * 4 + static_cast<int>(p.y * 4));
+  }
+  EXPECT_EQ(cells.size(), 16u);
+}
+
+TEST(Can, HopsScaleWithSqrtN) {
+  CanNetwork net = make_network(64, 21);
+  double total = 0;
+  constexpr int kLookups = 150;
+  for (int i = 0; i < kLookups; ++i) {
+    total += net.lookup(Id::hash("h" + std::to_string(i))).hops;
+  }
+  const double avg = total / kLookups;
+  // 2-d CAN routes in O(sqrt(n)) = 8; generous band that rules out O(n).
+  EXPECT_LT(avg, 14.0);
+  EXPECT_GT(avg, 1.0);
+}
+
+TEST(Can, RoutingTrafficAccounted) {
+  CanNetwork net = make_network(16, 3);
+  net.routing_stats().reset();
+  net.lookup(Id::hash("probe"));
+  EXPECT_GT(net.routing_stats().messages(), 0u);
+}
+
+TEST(Can, NeighboursShareBorders) {
+  CanNetwork net = make_network(20, 9);
+  for (const Id& id : net.node_ids()) {
+    const auto neighbours = net.neighbours_of(id);
+    EXPECT_FALSE(neighbours.empty());
+    for (const Id& n : neighbours) {
+      const auto back = net.neighbours_of(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), id), back.end())
+          << "adjacency must be symmetric";
+    }
+  }
+}
+
+TEST(Can, CrashHandsZonesToNeighbours) {
+  CanNetwork net = make_network(24, 11);
+  const auto ids = net.node_ids();
+  net.crash(ids[3]);
+  net.crash(ids[10]);
+  EXPECT_EQ(net.size(), 22u);
+  EXPECT_TRUE(net.zones_partition_space());
+  for (int i = 0; i < 60; ++i) {
+    const Id key = Id::hash("after-crash-" + std::to_string(i));
+    const LookupResult result = net.lookup(key);
+    EXPECT_NE(result.node, ids[3]);
+    EXPECT_NE(result.node, ids[10]);
+  }
+}
+
+TEST(Can, DuplicateNodeRejected) {
+  CanNetwork net = make_network(2, 13);
+  EXPECT_THROW(net.add_node("can-0"), dhtidx::InvariantError);
+}
+
+TEST(Can, IndexStackRunsOverCan) {
+  // The full indexing stack over the torus substrate: build, resolve,
+  // cache -- substrate independence beyond the ring geometry.
+  CanNetwork net = make_network(24, 17);
+  biblio::CorpusConfig config;
+  config.articles = 40;
+  config.authors = 15;
+  config.conferences = 6;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+
+  net::TrafficLedger ledger;
+  storage::DhtStore store{net, ledger};
+  index::IndexService service{net, ledger};
+  index::IndexBuilder builder{service, store, index::IndexingScheme::simple()};
+  for (const auto& a : corpus.articles()) {
+    builder.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+  }
+  index::LookupEngine engine{service, store, {index::CachePolicy::kSingle}};
+  for (const auto& a : corpus.articles()) {
+    const auto outcome = engine.resolve(a.author_query(), a.msd());
+    ASSERT_TRUE(outcome.found) << a.title;
+    EXPECT_EQ(outcome.interactions, 3);
+  }
+  // Cache hits work over CAN too.
+  const auto& a = corpus.article(0);
+  EXPECT_TRUE(engine.resolve(a.author_query(), a.msd()).cache_hit);
+}
+
+}  // namespace
+}  // namespace dhtidx::dht

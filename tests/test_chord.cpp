@@ -1,0 +1,204 @@
+#include "dht/chord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dht/ring.hpp"
+
+namespace dhtidx::dht {
+namespace {
+
+/// Builds a converged n-node Chord network.
+ChordNetwork make_network(std::size_t n, std::uint64_t seed = 99) {
+  ChordNetwork net{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node("node-" + std::to_string(i));
+    // Stabilize a little after each join so joins have someone correct to
+    // bootstrap from, as in a real deployment.
+    net.stabilize_round();
+    net.stabilize_round();
+  }
+  EXPECT_GE(net.stabilize_until_converged(), 0) << "ring did not converge";
+  return net;
+}
+
+/// A Ring oracle with the same membership.
+Ring oracle_of(const ChordNetwork& net) {
+  Ring ring;
+  for (const Id& id : net.node_ids()) ring.add(id);
+  return ring;
+}
+
+TEST(Chord, SingleNodeOwnsAllKeys) {
+  ChordNetwork net;
+  const Id only = net.add_node("solo");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(net.lookup(Id::hash("k" + std::to_string(i))).node, only);
+  }
+}
+
+TEST(Chord, TwoNodesSplitTheCircle) {
+  ChordNetwork net = make_network(2);
+  const Ring oracle = oracle_of(net);
+  for (int i = 0; i < 50; ++i) {
+    const Id key = Id::hash("pair-" + std::to_string(i));
+    EXPECT_EQ(net.lookup(key).node, oracle.successor(key));
+  }
+}
+
+TEST(Chord, SuccessorPointersFormTheSortedRing) {
+  ChordNetwork net = make_network(16);
+  EXPECT_TRUE(net.ring_correct());
+}
+
+TEST(Chord, PredecessorsConvergeToo) {
+  ChordNetwork net = make_network(8);
+  auto ids = net.node_ids();
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& pred = net.node(ids[i]).predecessor();
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(*pred, ids[(i + ids.size() - 1) % ids.size()]);
+  }
+}
+
+class ChordOracleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChordOracleTest, LookupsMatchConsistentHashing) {
+  ChordNetwork net = make_network(GetParam());
+  const Ring oracle = oracle_of(net);
+  for (int i = 0; i < 100; ++i) {
+    const Id key = Id::hash("key-" + std::to_string(i));
+    EXPECT_EQ(net.lookup(key).node, oracle.successor(key)) << key.brief();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordOracleTest, ::testing::Values(1, 2, 3, 5, 8, 16, 32, 64));
+
+TEST(Chord, HopsScaleLogarithmically) {
+  ChordNetwork net = make_network(64);
+  double total_hops = 0;
+  constexpr int kLookups = 200;
+  for (int i = 0; i < kLookups; ++i) {
+    total_hops += net.lookup(Id::hash("h" + std::to_string(i))).hops;
+  }
+  const double avg = total_hops / kLookups;
+  // log2(64) = 6; with fingers the average path is ~(1/2) log2 n. Allow a
+  // generous band that still rules out linear walking (~32 hops).
+  EXPECT_LT(avg, 8.0);
+  EXPECT_GT(avg, 0.5);
+}
+
+TEST(Chord, RoutingTrafficIsAccounted) {
+  ChordNetwork net = make_network(16);
+  net.routing_stats().reset();
+  net.lookup(Id::hash("traffic-probe"));
+  EXPECT_GT(net.routing_stats().messages(), 0u);
+  EXPECT_GT(net.routing_stats().bytes(), 0u);
+}
+
+TEST(Chord, LatencyAccumulates) {
+  ChordNetwork net = make_network(16);
+  net.latency().reset_elapsed();
+  for (int i = 0; i < 10; ++i) net.lookup(Id::hash("lat" + std::to_string(i)));
+  EXPECT_GT(net.latency().elapsed_ms(), 0.0);
+}
+
+TEST(Chord, CrashIsRepairedByStabilization) {
+  ChordNetwork net = make_network(16, 7);
+  auto ids = net.node_ids();
+  // Crash three nodes without warning.
+  for (int i = 0; i < 3; ++i) net.crash(ids[static_cast<std::size_t>(i) * 4]);
+  EXPECT_EQ(net.size(), 13u);
+  EXPECT_GE(net.stabilize_until_converged(), 0);
+  const Ring oracle = oracle_of(net);
+  for (int i = 0; i < 60; ++i) {
+    const Id key = Id::hash("crash-key-" + std::to_string(i));
+    EXPECT_EQ(net.lookup(key).node, oracle.successor(key));
+  }
+}
+
+TEST(Chord, GracefulLeaveKeepsRingCorrect) {
+  ChordNetwork net = make_network(12, 11);
+  auto ids = net.node_ids();
+  net.leave(ids[3]);
+  net.leave(ids[7]);
+  EXPECT_EQ(net.size(), 10u);
+  EXPECT_GE(net.stabilize_until_converged(), 0);
+  const Ring oracle = oracle_of(net);
+  for (int i = 0; i < 60; ++i) {
+    const Id key = Id::hash("leave-key-" + std::to_string(i));
+    EXPECT_EQ(net.lookup(key).node, oracle.successor(key));
+  }
+}
+
+TEST(Chord, JoinAfterConvergenceIntegratesNewNode) {
+  ChordNetwork net = make_network(8, 21);
+  const Id fresh = net.add_node("latecomer");
+  EXPECT_GE(net.stabilize_until_converged(), 0);
+  const Ring oracle = oracle_of(net);
+  EXPECT_TRUE(net.is_alive(fresh));
+  bool fresh_owns_something = false;
+  for (int i = 0; i < 300; ++i) {
+    const Id key = Id::hash("join-key-" + std::to_string(i));
+    const Id owner = net.lookup(key).node;
+    EXPECT_EQ(owner, oracle.successor(key));
+    if (owner == fresh) fresh_owns_something = true;
+  }
+  EXPECT_TRUE(fresh_owns_something);
+}
+
+TEST(Chord, LookupFromSpecificNode) {
+  ChordNetwork net = make_network(16, 5);
+  const Ring oracle = oracle_of(net);
+  const Id origin = net.node_ids().front();
+  const Id key = Id::hash("from-origin");
+  EXPECT_EQ(net.lookup_from(origin, key).node, oracle.successor(key));
+}
+
+TEST(Chord, LookupFromDeadNodeFails) {
+  ChordNetwork net = make_network(4, 13);
+  const Id victim = net.node_ids().front();
+  net.crash(victim);
+  EXPECT_THROW(net.lookup_from(victim, Id::hash("x")), net::RpcError);
+}
+
+TEST(Chord, DuplicateNodeIdRejected) {
+  ChordNetwork net;
+  net.add_node("dup");
+  EXPECT_THROW(net.add_node("dup"), InvariantError);
+}
+
+TEST(Chord, PingDetectsLiveness) {
+  ChordNetwork net = make_network(4, 17);
+  const Id target = net.node_ids().front();
+  EXPECT_TRUE(net.ping(target));
+  net.crash(target);
+  EXPECT_FALSE(net.ping(target));
+}
+
+TEST(Chord, SuccessorListProvidesRedundancy) {
+  ChordNetwork net = make_network(12, 31);
+  for (const Id& id : net.node_ids()) {
+    EXPECT_GE(net.node(id).successor_list().size(), 2u);
+  }
+}
+
+TEST(Chord, MassiveChurnEventuallyConverges) {
+  ChordNetwork net = make_network(24, 41);
+  auto ids = net.node_ids();
+  // Kill a third of the network at once (within successor-list tolerance per
+  // arc thanks to randomized ids).
+  for (std::size_t i = 0; i < ids.size(); i += 3) net.crash(ids[i]);
+  EXPECT_GE(net.stabilize_until_converged(512), 0);
+  const Ring oracle = oracle_of(net);
+  for (int i = 0; i < 40; ++i) {
+    const Id key = Id::hash("churn-" + std::to_string(i));
+    EXPECT_EQ(net.lookup(key).node, oracle.successor(key));
+  }
+}
+
+}  // namespace
+}  // namespace dhtidx::dht

@@ -1,0 +1,110 @@
+// Full-stack integration on the real Chord substrate: storage, indexing and
+// lookups running over protocol-level routing instead of the instant Ring.
+// This validates the paper's layering claim -- the indexing layer works over
+// "an arbitrary P2P DHT substrate".
+#include <gtest/gtest.h>
+
+#include "biblio/corpus.hpp"
+#include "dht/chord.hpp"
+#include "dht/ring.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+#include "workload/generator.hpp"
+
+namespace dhtidx {
+namespace {
+
+using index::CachePolicy;
+using index::IndexBuilder;
+using index::IndexingScheme;
+using index::IndexService;
+using index::LookupEngine;
+using index::SchemeKind;
+
+class ChordStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 12; ++i) {
+      chord_.add_node("peer-" + std::to_string(i));
+      chord_.stabilize_round();
+      chord_.stabilize_round();
+    }
+    ASSERT_GE(chord_.stabilize_until_converged(), 0);
+
+    biblio::CorpusConfig config;
+    config.articles = 40;
+    config.authors = 15;
+    config.conferences = 6;
+    corpus_.emplace(biblio::Corpus::generate(config));
+    for (const auto& a : corpus_->articles()) {
+      builder_.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+    }
+  }
+
+  dht::ChordNetwork chord_{2024};
+  net::TrafficLedger ledger_;
+  storage::DhtStore store_{chord_, ledger_};
+  IndexService service_{chord_, ledger_};
+  IndexBuilder builder_{service_, store_, IndexingScheme::simple()};
+  LookupEngine engine_{service_, store_, {CachePolicy::kNone}};
+  std::optional<biblio::Corpus> corpus_;
+};
+
+TEST_F(ChordStackTest, ResponsibilityMatchesConsistentHashing) {
+  dht::Ring oracle;
+  for (const Id& id : chord_.node_ids()) oracle.add(id);
+  for (const auto& a : corpus_->articles()) {
+    EXPECT_EQ(chord_.lookup(a.msd().key()).node, oracle.successor(a.msd().key()));
+  }
+}
+
+TEST_F(ChordStackTest, EveryArticleResolvableOverChord) {
+  for (const auto& a : corpus_->articles()) {
+    const auto outcome = engine_.resolve(a.author_query(), a.msd());
+    ASSERT_TRUE(outcome.found) << a.title;
+    EXPECT_EQ(outcome.interactions, 3);
+  }
+}
+
+TEST_F(ChordStackTest, RoutingTrafficAccumulatesOnChord) {
+  chord_.routing_stats().reset();
+  const auto& a = corpus_->article(0);
+  engine_.resolve(a.author_query(), a.msd());
+  // Chord key resolution generates substrate routing messages; the Ring
+  // substrate would report none.
+  EXPECT_GT(chord_.routing_stats().messages(), 0u);
+}
+
+TEST_F(ChordStackTest, CachingWorksOverChord) {
+  LookupEngine cached{service_, store_, {CachePolicy::kSingle}};
+  const auto& a = corpus_->article(1);
+  EXPECT_FALSE(cached.resolve(a.author_query(), a.msd()).cache_hit);
+  const auto second = cached.resolve(a.author_query(), a.msd());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.interactions, 2);
+}
+
+TEST_F(ChordStackTest, LookupsSurviveNodeCrashAfterRepairAndRebalance) {
+  // Crash one node, let the ring repair, re-home its data, and verify the
+  // whole database is still reachable.
+  const Id victim = chord_.node_ids().front();
+  chord_.crash(victim);
+  ASSERT_GE(chord_.stabilize_until_converged(), 0);
+  store_.rebalance();
+  // Index entries are re-homed by re-inserting (idempotent) mappings: the
+  // service state lives per node, so rebuild the index over live nodes.
+  IndexService fresh_service{chord_, ledger_};
+  IndexBuilder fresh_builder{fresh_service, store_, IndexingScheme::simple()};
+  for (const auto& a : corpus_->articles()) {
+    for (const auto& m : fresh_builder.scheme().mappings_for(a.msd())) {
+      fresh_service.insert(m.source, m.target);
+    }
+  }
+  LookupEngine fresh_engine{fresh_service, store_, {CachePolicy::kNone}};
+  for (const auto& a : corpus_->articles()) {
+    EXPECT_TRUE(fresh_engine.resolve(a.author_query(), a.msd()).found) << a.title;
+  }
+}
+
+}  // namespace
+}  // namespace dhtidx

@@ -1,0 +1,209 @@
+#include "biblio/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "xml/parser.hpp"
+
+namespace dhtidx::biblio {
+namespace {
+
+TEST(Article, DescriptorHasPaperLayout) {
+  Article a;
+  a.first_name = "John";
+  a.last_name = "Smith";
+  a.title = "TCP";
+  a.conference = "SIGCOMM";
+  a.year = 1989;
+  a.file_bytes = 315635;
+  const xml::Element doc = a.descriptor();
+  EXPECT_EQ(doc.name(), "article");
+  EXPECT_EQ(doc.child("author")->child("first")->text(), "John");
+  EXPECT_EQ(doc.child("title")->text(), "TCP");
+  EXPECT_EQ(doc.child("size")->text(), "315635");
+}
+
+TEST(Article, MsdMatchesOwnDescriptor) {
+  Article a;
+  a.first_name = "A";
+  a.last_name = "B";
+  a.title = "T";
+  a.conference = "C";
+  a.year = 2000;
+  a.file_bytes = 10;
+  EXPECT_TRUE(a.msd().matches(a.descriptor()));
+  EXPECT_TRUE(a.msd().is_most_specific_of(a.descriptor()));
+}
+
+TEST(Article, PartialQueriesCoverMsd) {
+  Article a;
+  a.first_name = "A";
+  a.last_name = "B";
+  a.title = "T";
+  a.conference = "C";
+  a.year = 2000;
+  for (const auto& q :
+       {a.author_query(), a.title_query(), a.conference_query(), a.year_query(),
+        a.author_title_query(), a.author_year_query(), a.conference_year_query(),
+        a.author_conference_query(), a.author_conference_year_query()}) {
+    EXPECT_TRUE(q.covers(a.msd())) << q.canonical();
+    EXPECT_TRUE(q.matches(a.descriptor())) << q.canonical();
+  }
+}
+
+TEST(Article, RoundTripThroughDescriptor) {
+  Article a;
+  a.first_name = "Maria";
+  a.last_name = "Garcia";
+  a.title = "Adaptive overlays";
+  a.conference = "ICDCS";
+  a.year = 2004;
+  a.file_bytes = 123456;
+  const Article parsed = article_from_descriptor(a.descriptor());
+  EXPECT_EQ(parsed.first_name, a.first_name);
+  EXPECT_EQ(parsed.last_name, a.last_name);
+  EXPECT_EQ(parsed.title, a.title);
+  EXPECT_EQ(parsed.conference, a.conference);
+  EXPECT_EQ(parsed.year, a.year);
+  EXPECT_EQ(parsed.file_bytes, a.file_bytes);
+}
+
+TEST(Article, FromDescriptorRejectsMalformedInput) {
+  EXPECT_THROW(article_from_descriptor(xml::parse("<book><title>X</title></book>")),
+               ParseError);
+  EXPECT_THROW(article_from_descriptor(xml::parse("<article><title>X</title></article>")),
+               ParseError);
+  EXPECT_THROW(article_from_descriptor(xml::parse(
+                   "<article><author><first>A</first><last>B</last></author>"
+                   "<title>T</title><conf>C</conf><year>noise</year></article>")),
+               ParseError);
+}
+
+TEST(Corpus, GeneratesRequestedSize) {
+  CorpusConfig config;
+  config.articles = 500;
+  config.authors = 150;
+  const Corpus corpus = Corpus::generate(config);
+  EXPECT_EQ(corpus.size(), 500u);
+}
+
+TEST(Corpus, DeterministicForSameSeed) {
+  CorpusConfig config;
+  config.articles = 100;
+  const Corpus a = Corpus::generate(config);
+  const Corpus b = Corpus::generate(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.article(i), b.article(i));
+  }
+}
+
+TEST(Corpus, DifferentSeedsDiffer) {
+  CorpusConfig config;
+  config.articles = 100;
+  const Corpus a = Corpus::generate(config);
+  config.seed = 43;
+  const Corpus b = Corpus::generate(config);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.article(i) == b.article(i))) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Corpus, TitlesAreUnique) {
+  CorpusConfig config;
+  config.articles = 2000;
+  const Corpus corpus = Corpus::generate(config);
+  std::set<std::string> titles;
+  for (const Article& a : corpus.articles()) titles.insert(a.title);
+  EXPECT_EQ(titles.size(), corpus.size());
+}
+
+TEST(Corpus, AuthorProductivityIsSkewed) {
+  CorpusConfig config;
+  config.articles = 3000;
+  config.authors = 900;
+  const Corpus corpus = Corpus::generate(config);
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Article& a : corpus.articles()) {
+    ++counts[{a.first_name, a.last_name}];
+  }
+  int max_count = 0;
+  for (const auto& [author, count] : counts) max_count = std::max(max_count, count);
+  const double mean = 3000.0 / static_cast<double>(counts.size());
+  // Zipf productivity: the top author is far above the mean.
+  EXPECT_GT(max_count, 5 * mean);
+}
+
+TEST(Corpus, YearsWithinConfiguredRange) {
+  CorpusConfig config;
+  config.articles = 1000;
+  const Corpus corpus = Corpus::generate(config);
+  for (const Article& a : corpus.articles()) {
+    EXPECT_GE(a.year, config.first_year);
+    EXPECT_LE(a.year, config.last_year);
+  }
+}
+
+TEST(Corpus, FileSizesAverageNearMean) {
+  CorpusConfig config;
+  config.articles = 4000;
+  const Corpus corpus = Corpus::generate(config);
+  double total = 0;
+  for (const Article& a : corpus.articles()) total += static_cast<double>(a.file_bytes);
+  EXPECT_NEAR(total / 4000.0, 250000.0, 15000.0);
+}
+
+TEST(Corpus, DistinctCountsAreReasonable) {
+  CorpusConfig config;
+  config.articles = 2000;
+  config.authors = 600;
+  config.conferences = 40;
+  const Corpus corpus = Corpus::generate(config);
+  EXPECT_LE(corpus.distinct_authors(), 600u);
+  EXPECT_GT(corpus.distinct_authors(), 200u);  // the Zipf tail is long
+  EXPECT_LE(corpus.distinct_conferences(), 40u);
+  EXPECT_GT(corpus.distinct_conferences(), 20u);
+}
+
+TEST(Corpus, ByAuthorFindsAllWorks) {
+  CorpusConfig config;
+  config.articles = 300;
+  config.authors = 60;
+  const Corpus corpus = Corpus::generate(config);
+  const Article& a = corpus.article(0);
+  const auto works = corpus.by_author(a.first_name, a.last_name);
+  EXPECT_FALSE(works.empty());
+  for (const Article* w : works) {
+    EXPECT_EQ(w->first_name, a.first_name);
+    EXPECT_EQ(w->last_name, a.last_name);
+  }
+}
+
+TEST(Corpus, XmlRoundTrip) {
+  CorpusConfig config;
+  config.articles = 50;
+  const Corpus original = Corpus::generate(config);
+  const Corpus parsed = Corpus::from_xml(original.to_xml());
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed.article(i), original.article(i));
+  }
+}
+
+TEST(Corpus, FromXmlRejectsWrongRoot) {
+  EXPECT_THROW(Corpus::from_xml("<library/>"), ParseError);
+}
+
+TEST(Corpus, RejectsZeroCounts) {
+  CorpusConfig config;
+  config.articles = 0;
+  EXPECT_THROW(Corpus::generate(config), InvariantError);
+}
+
+}  // namespace
+}  // namespace dhtidx::biblio

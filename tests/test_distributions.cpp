@@ -1,0 +1,167 @@
+#include "common/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dhtidx {
+namespace {
+
+TEST(DiscreteSampler, ProbabilitiesNormalized) {
+  DiscreteSampler sampler{{1.0, 3.0}};
+  EXPECT_NEAR(sampler.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(sampler.probability(1), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(sampler.probability(2), 0.0);
+}
+
+TEST(DiscreteSampler, SamplesConvergeToWeights) {
+  DiscreteSampler sampler{{0.6, 0.2, 0.1, 0.05, 0.05}};
+  Rng rng{5};
+  std::vector<int> counts(5, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.60, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.20, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.10, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kN), 0.05, 0.01);
+  EXPECT_NEAR(counts[4] / static_cast<double>(kN), 0.05, 0.01);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled) {
+  DiscreteSampler sampler{{1.0, 0.0, 1.0}};
+  Rng rng{9};
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, RejectsInvalidWeights) {
+  EXPECT_THROW((DiscreteSampler{std::vector<double>{}}), InvariantError);
+  EXPECT_THROW((DiscreteSampler{std::vector<double>{0.0, 0.0}}), InvariantError);
+  EXPECT_THROW((DiscreteSampler{std::vector<double>{1.0, -0.1}}), InvariantError);
+}
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  ZipfSampler zipf{100, 1.0};
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= 100; ++i) sum += zipf.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, ProbabilityDecreasingInRank) {
+  ZipfSampler zipf{1000, 0.85};
+  for (std::size_t i = 1; i < 1000; ++i) {
+    EXPECT_GE(zipf.probability(i), zipf.probability(i + 1));
+  }
+}
+
+TEST(ZipfSampler, RatioMatchesExponent) {
+  ZipfSampler zipf{100, 2.0};
+  EXPECT_NEAR(zipf.probability(1) / zipf.probability(2), 4.0, 1e-9);
+  EXPECT_NEAR(zipf.probability(1) / zipf.probability(4), 16.0, 1e-9);
+}
+
+TEST(ZipfSampler, SampleWithinRange) {
+  ZipfSampler zipf{50, 1.2};
+  Rng rng{3};
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t rank = zipf.sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 50u);
+  }
+}
+
+TEST(ZipfSampler, RejectsEmpty) {
+  EXPECT_THROW((ZipfSampler{0, 1.0}), InvariantError);
+}
+
+TEST(PowerLawPopularity, PaperParametersByDefault) {
+  const PowerLawPopularity pop;
+  EXPECT_EQ(pop.size(), 10000u);
+  EXPECT_DOUBLE_EQ(pop.c(), 0.063);
+  EXPECT_DOUBLE_EQ(pop.alpha(), 0.3);
+}
+
+TEST(PowerLawPopularity, CdfEndpoints) {
+  const PowerLawPopularity pop;
+  EXPECT_DOUBLE_EQ(pop.cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(pop.cdf(10000), 1.0);
+  EXPECT_DOUBLE_EQ(pop.ccdf(10000), 0.0);
+}
+
+TEST(PowerLawPopularity, CcdfMatchesPaperFormula) {
+  // Fbar(i) = 1 - 0.063 * i^0.3, up to the finite-population normalizer
+  // (~0.9986 at the paper's parameters).
+  const PowerLawPopularity pop;
+  for (const std::size_t i : {1u, 10u, 100u, 1000u, 5000u}) {
+    const double raw = 1.0 - 0.063 * std::pow(static_cast<double>(i), 0.3);
+    EXPECT_NEAR(pop.ccdf(i), raw, 0.0035) << "rank " << i;
+  }
+}
+
+TEST(PowerLawPopularity, TopRankProbabilityIsLarge) {
+  // The most popular article draws ~6.3% of all requests: the skew that
+  // makes caching effective (Section V-D).
+  const PowerLawPopularity pop;
+  EXPECT_NEAR(pop.probability(1), 0.063, 0.001);
+}
+
+TEST(PowerLawPopularity, ProbabilitiesSumToOne) {
+  const PowerLawPopularity pop{500};
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= 500; ++i) sum += pop.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PowerLawPopularity, SamplingMatchesCdf) {
+  const PowerLawPopularity pop{1000};
+  Rng rng{77};
+  constexpr int kN = 200000;
+  std::vector<int> counts(1001, 0);
+  for (int i = 0; i < kN; ++i) ++counts[pop.sample(rng)];
+  // Compare empirical and analytic CDF at several ranks.
+  int acc = 0;
+  for (const std::size_t rank : {1u, 5u, 50u, 200u, 800u}) {
+    acc = 0;
+    for (std::size_t i = 1; i <= rank; ++i) acc += counts[i];
+    EXPECT_NEAR(acc / static_cast<double>(kN), pop.cdf(rank), 0.01) << "rank " << rank;
+  }
+}
+
+TEST(PowerLawPopularity, RejectsInvalidParameters) {
+  EXPECT_THROW((PowerLawPopularity{0}), InvariantError);
+  EXPECT_THROW((PowerLawPopularity{10, -1.0, 0.3}), InvariantError);
+  EXPECT_THROW((PowerLawPopularity{10, 0.063, 0.0}), InvariantError);
+}
+
+class PowerLawSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawSweepTest, CdfMonotoneAndNormalized) {
+  const double alpha = GetParam();
+  const PowerLawPopularity pop{2000, 0.05, alpha};
+  double prev = 0.0;
+  for (std::size_t i = 1; i <= 2000; ++i) {
+    const double f = pop.cdf(i);
+    ASSERT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST_P(PowerLawSweepTest, SamplesInRange) {
+  const PowerLawPopularity pop{2000, 0.05, GetParam()};
+  Rng rng{99};
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t rank = pop.sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 2000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PowerLawSweepTest,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace dhtidx

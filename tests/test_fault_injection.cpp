@@ -1,0 +1,155 @@
+// Fault injection across the stack: lossy links, churn during operation, and
+// storage-node loss with replication. Exercises the retry/repair paths that
+// only failures reach.
+#include <gtest/gtest.h>
+
+#include "biblio/corpus.hpp"
+#include "dht/chord.hpp"
+#include "dht/ring.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+
+namespace dhtidx {
+namespace {
+
+dht::ChordNetwork converged_chord(std::size_t n, std::uint64_t seed) {
+  dht::ChordNetwork net{seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node("node-" + std::to_string(i));
+    net.stabilize_round();
+    net.stabilize_round();
+  }
+  EXPECT_GE(net.stabilize_until_converged(), 0);
+  return net;
+}
+
+TEST(FaultInjection, ChordLookupsSurviveLossyLinks) {
+  dht::ChordNetwork net = converged_chord(24, 3);
+  dht::Ring oracle;
+  for (const Id& id : net.node_ids()) oracle.add(id);
+
+  // 5% of messages vanish. find_successor treats a lost message like a dead
+  // hop (forget + reroute), so lookups must still land on the right node.
+  net.failures().set_drop_probability(0.05);
+  int correct = 0;
+  int attempts = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Id key = Id::hash("lossy-" + std::to_string(i));
+    ++attempts;
+    try {
+      if (net.lookup(key).node == oracle.successor(key)) ++correct;
+    } catch (const net::RpcError&) {
+      // A lookup may exhaust retries under loss; that is a visible failure,
+      // not a wrong answer. Tolerate a few.
+    }
+  }
+  net.failures().set_drop_probability(0.0);
+  EXPECT_GE(correct, attempts * 9 / 10);
+  // Whatever state the lossy phase left behind must be repairable.
+  EXPECT_GE(net.stabilize_until_converged(), 0);
+}
+
+TEST(FaultInjection, ChordStabilizationToleratesLoss) {
+  dht::ChordNetwork net{31};
+  net.failures().set_drop_probability(0.10);
+  for (int i = 0; i < 16; ++i) {
+    // A join message can be lost; the joining node retries, as a real
+    // client would (add_node is exception-safe and leaves no zombie).
+    for (int attempt = 0;; ++attempt) {
+      try {
+        net.add_node("peer-" + std::to_string(i));
+        break;
+      } catch (const net::RpcError&) {
+        ASSERT_LT(attempt, 20);
+      }
+    }
+    net.stabilize_round();
+    net.stabilize_round();
+    net.stabilize_round();
+  }
+  net.failures().set_drop_probability(0.0);
+  EXPECT_GE(net.stabilize_until_converged(), 0);
+  EXPECT_TRUE(net.ring_correct());
+}
+
+TEST(FaultInjection, ChurnDuringQueryFeed) {
+  // Nodes crash while lookups are in flight; after repair and re-homing,
+  // every article is reachable again.
+  dht::ChordNetwork net = converged_chord(20, 7);
+  biblio::CorpusConfig config;
+  config.articles = 30;
+  config.authors = 12;
+  config.conferences = 5;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+
+  net::TrafficLedger ledger;
+  storage::DhtStore store{net, ledger};
+  index::IndexService service{net, ledger};
+  index::IndexBuilder builder{service, store, index::IndexingScheme::simple()};
+  for (const auto& a : corpus.articles()) {
+    builder.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+  }
+  index::LookupEngine engine{service, store, {index::CachePolicy::kNone}};
+
+  // Warm: everything resolvable.
+  for (const auto& a : corpus.articles()) {
+    ASSERT_TRUE(engine.resolve(a.author_query(), a.msd()).found);
+  }
+
+  // Crash three nodes, repair the ring, re-home data and index state.
+  auto ids = net.node_ids();
+  for (int i = 0; i < 3; ++i) net.crash(ids[static_cast<std::size_t>(i) * 6]);
+  ASSERT_GE(net.stabilize_until_converged(), 0);
+  store.rebalance();
+  index::IndexService fresh{net, ledger};
+  index::IndexBuilder rebuilt{fresh, store, index::IndexingScheme::simple()};
+  for (const auto& a : corpus.articles()) {
+    for (const auto& m : rebuilt.scheme().mappings_for(a.msd())) {
+      fresh.insert(m.source, m.target);
+    }
+  }
+  index::LookupEngine engine2{fresh, store, {index::CachePolicy::kNone}};
+  for (const auto& a : corpus.articles()) {
+    EXPECT_TRUE(engine2.resolve(a.author_query(), a.msd()).found) << a.title;
+  }
+}
+
+TEST(FaultInjection, ReplicatedFilesSurviveStorageLossTransparently) {
+  // With replication-3 storage, losing a file's primary node mid-session
+  // leaves every lookup working (reads fail over to replicas).
+  dht::Ring ring = dht::Ring::with_nodes(15);
+  net::TrafficLedger ledger;
+  storage::DhtStore store{ring, ledger, /*replication=*/3};
+  index::IndexService service{ring, ledger};
+  index::IndexBuilder builder{service, store, index::IndexingScheme::simple()};
+
+  biblio::CorpusConfig config;
+  config.articles = 25;
+  config.authors = 10;
+  config.conferences = 5;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+  for (const auto& a : corpus.articles()) {
+    builder.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+  }
+
+  // Drop two nodes' stores (data loss, not membership change: the ring
+  // still routes to the same nodes). With disjoint 3-node replica sets,
+  // losing two nodes can never destroy all copies of a record.
+  std::set<Id> primaries;
+  for (const auto& a : corpus.articles()) primaries.insert(ring.successor(a.msd().key()));
+  std::size_t dropped = 0;
+  for (const Id& node : primaries) {
+    if (dropped >= 2) break;
+    store.drop_node(node);
+    ++dropped;
+  }
+  ASSERT_EQ(dropped, 2u);
+
+  index::LookupEngine engine{service, store, {index::CachePolicy::kNone}};
+  for (const auto& a : corpus.articles()) {
+    EXPECT_TRUE(engine.resolve(a.author_query(), a.msd()).found) << a.title;
+  }
+}
+
+}  // namespace
+}  // namespace dhtidx

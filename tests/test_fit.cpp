@@ -1,0 +1,88 @@
+#include "common/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distributions.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dhtidx {
+namespace {
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyDataLowersRSquared) {
+  std::vector<double> xs, ys;
+  Rng rng{1};
+  for (int i = 0; i < 200; ++i) {
+    const double x = i / 10.0;
+    xs.push_back(x);
+    ys.push_back(3.0 * x + 2.0 + (rng.next_double() - 0.5) * 4.0);
+  }
+  const LineFit fit = fit_line(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.1);
+  EXPECT_NEAR(fit.intercept, 2.0, 0.5);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(FitLine, HorizontalLine) {
+  const LineFit fit = fit_line({1, 2, 3}, {4, 4, 4});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_line({1}, {1}), InvariantError);
+  EXPECT_THROW(fit_line({1, 2}, {1}), InvariantError);
+  EXPECT_THROW(fit_line({2, 2, 2}, {1, 2, 3}), InvariantError);
+}
+
+TEST(FitPowerLaw, RecoversSyntheticPowerLaw) {
+  // p(i) = 0.2 * i^-0.7
+  std::vector<double> probabilities;
+  for (int i = 1; i <= 500; ++i) {
+    probabilities.push_back(0.2 * std::pow(i, -0.7));
+  }
+  const PowerLawFit fit = fit_power_law(probabilities);
+  EXPECT_NEAR(fit.exponent, -0.7, 1e-9);
+  EXPECT_NEAR(fit.k, 0.2, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitPowerLaw, SkipsZeroTail) {
+  std::vector<double> probabilities;
+  for (int i = 1; i <= 100; ++i) probabilities.push_back(0.1 * std::pow(i, -0.5));
+  for (int i = 0; i < 50; ++i) probabilities.push_back(0.0);
+  const PowerLawFit fit = fit_power_law(probabilities);
+  EXPECT_NEAR(fit.exponent, -0.5, 1e-9);
+}
+
+TEST(FitPowerLaw, PaperProcedureOnSampledPopularity) {
+  // Section V-C: fit the observed popularity distribution, then use the
+  // fitted family for the simulation. Sampling from the paper's model and
+  // re-fitting must give a decaying power law with a good fit on the head.
+  const PowerLawPopularity model{1000};
+  Rng rng{2024};
+  std::vector<std::uint64_t> counts(1000, 0);
+  for (int i = 0; i < 300000; ++i) ++counts[model.sample(rng) - 1];
+  std::vector<double> head;
+  for (int i = 0; i < 200; ++i) head.push_back(counts[i] / 300000.0);
+  const PowerLawFit fit = fit_power_law(head);
+  EXPECT_LT(fit.exponent, -0.4);  // decaying
+  EXPECT_GT(fit.exponent, -1.1);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+}  // namespace
+}  // namespace dhtidx

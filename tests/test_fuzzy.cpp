@@ -1,0 +1,181 @@
+// Fuzzy matching for misspelled queries (Section VI).
+#include "index/fuzzy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "biblio/corpus.hpp"
+#include "dht/ring.hpp"
+#include "index/builder.hpp"
+
+namespace dhtidx::index {
+namespace {
+
+using query::Query;
+
+TEST(EditDistance, ClassicCases) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("flaw", "lawn"), 2u);
+  EXPECT_EQ(edit_distance("Smith", "Smyth"), 1u);
+  EXPECT_EQ(edit_distance("Smith", "Smit"), 1u);
+  EXPECT_EQ(edit_distance("Smith", "mith"), 1u);
+}
+
+TEST(EditDistance, Symmetric) {
+  EXPECT_EQ(edit_distance("sunday", "saturday"), edit_distance("saturday", "sunday"));
+}
+
+TEST(EditDistance, CapShortCircuits) {
+  EXPECT_EQ(edit_distance("completely", "different!", 2), 3u);  // cap + 1
+  EXPECT_EQ(edit_distance("abc", "abcdefgh", 2), 3u);           // length gap > cap
+  EXPECT_EQ(edit_distance("Smith", "Smyth", 2), 1u);            // within cap: exact
+}
+
+TEST(FieldDictionary, KnownValues) {
+  FieldDictionary dict;
+  dict.add("author/last", "Smith");
+  dict.add("author/last", "Smith");  // duplicate ignored
+  dict.add("author/last", "Jones");
+  dict.add("title", "TCP");
+  EXPECT_TRUE(dict.known("author/last", "Smith"));
+  EXPECT_FALSE(dict.known("author/last", "TCP"));
+  EXPECT_TRUE(dict.known("title", "TCP"));
+  EXPECT_FALSE(dict.known("missing-field", "x"));
+  EXPECT_EQ(dict.value_count("author/last"), 2u);
+  EXPECT_EQ(dict.field_count(), 2u);
+}
+
+TEST(FieldDictionary, SuggestsNearbyValues) {
+  FieldDictionary dict;
+  dict.add("author/last", "Smith");
+  dict.add("author/last", "Smyth");
+  dict.add("author/last", "Jones");
+  dict.add("author/last", "Johnson");
+  const auto suggestions = dict.suggest("author/last", "Smih");
+  ASSERT_GE(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].value, "Smith");
+  EXPECT_EQ(suggestions[0].distance, 1u);
+  for (const auto& s : suggestions) {
+    EXPECT_LE(s.distance, 2u);
+    EXPECT_NE(s.value, "Jones");  // distance 5, out of budget
+  }
+}
+
+TEST(FieldDictionary, SuggestOrdersByDistanceThenAlphabet) {
+  FieldDictionary dict;
+  dict.add("f", "abcd");
+  dict.add("f", "abce");
+  dict.add("f", "abcf");
+  dict.add("f", "abxy");
+  const auto suggestions = dict.suggest("f", "abcz");
+  ASSERT_GE(suggestions.size(), 3u);
+  EXPECT_EQ(suggestions[0].value, "abcd");
+  EXPECT_EQ(suggestions[1].value, "abce");
+  EXPECT_EQ(suggestions[2].value, "abcf");
+}
+
+TEST(FieldDictionary, ExactValueNotSuggested) {
+  FieldDictionary dict;
+  dict.add("f", "value");
+  const auto suggestions = dict.suggest("f", "value");
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST(FieldDictionary, UnknownFieldOrEmptyValue) {
+  FieldDictionary dict;
+  dict.add("f", "x");
+  EXPECT_TRUE(dict.suggest("g", "x").empty());
+  EXPECT_TRUE(dict.suggest("f", "").empty());
+}
+
+class FuzzyWorld : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    biblio::CorpusConfig config;
+    config.articles = 80;
+    config.authors = 30;
+    config.conferences = 8;
+    corpus_.emplace(biblio::Corpus::generate(config));
+    builder_.set_dictionary(&dictionary_);
+    for (const auto& a : corpus_->articles()) {
+      builder_.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+    }
+  }
+
+  static std::string misspell(std::string value) {
+    // Swap the last two characters (a realistic typo).
+    if (value.size() >= 2) std::swap(value[value.size() - 1], value[value.size() - 2]);
+    return value;
+  }
+
+  dht::Ring ring_ = dht::Ring::with_nodes(20);
+  net::TrafficLedger ledger_;
+  storage::DhtStore store_{ring_, ledger_};
+  IndexService service_{ring_, ledger_};
+  IndexBuilder builder_{service_, store_, IndexingScheme::simple()};
+  LookupEngine engine_{service_, store_, {CachePolicy::kNone}};
+  FieldDictionary dictionary_;
+  std::optional<biblio::Corpus> corpus_;
+};
+
+TEST_F(FuzzyWorld, BuilderFeedsDictionary) {
+  EXPECT_EQ(dictionary_.value_count("author/last"),
+            [&] {
+              std::set<std::string> lasts;
+              for (const auto& a : corpus_->articles()) lasts.insert(a.last_name);
+              return lasts.size();
+            }());
+  EXPECT_EQ(dictionary_.value_count("title"), corpus_->size());
+  EXPECT_TRUE(dictionary_.known("conf", corpus_->article(0).conference));
+}
+
+TEST_F(FuzzyWorld, CorrectionsRepairMisspelledValue) {
+  FuzzyResolver fuzzy{engine_, dictionary_};
+  const auto& a = corpus_->article(0);
+  Query typo{"article"};
+  typo.add_field("author/first", a.first_name);
+  typo.add_field("author/last", misspell(a.last_name));
+  const auto corrected = fuzzy.corrections(typo);
+  ASSERT_FALSE(corrected.empty());
+  EXPECT_EQ(corrected[0], a.author_query());
+}
+
+TEST_F(FuzzyWorld, ValidQueryNeedsNoCorrection) {
+  FuzzyResolver fuzzy{engine_, dictionary_};
+  EXPECT_TRUE(fuzzy.corrections(corpus_->article(0).author_query()).empty());
+}
+
+TEST_F(FuzzyWorld, SearchFallsBackToCorrection) {
+  FuzzyResolver fuzzy{engine_, dictionary_};
+  const auto& a = corpus_->article(0);
+  Query typo{"article"};
+  typo.add_field("title", misspell(a.title));
+  const auto result = fuzzy.search(typo);
+  EXPECT_TRUE(result.corrected);
+  ASSERT_FALSE(result.results.empty());
+  EXPECT_NE(std::find(result.results.begin(), result.results.end(), a.msd()),
+            result.results.end());
+}
+
+TEST_F(FuzzyWorld, SearchWithExactQueryIsNotCorrected) {
+  FuzzyResolver fuzzy{engine_, dictionary_};
+  const auto& a = corpus_->article(1);
+  const auto result = fuzzy.search(a.title_query());
+  EXPECT_FALSE(result.corrected);
+  EXPECT_FALSE(result.results.empty());
+}
+
+TEST_F(FuzzyWorld, HopelessTypoGivesEmptyResults) {
+  FuzzyResolver fuzzy{engine_, dictionary_};
+  Query garbage{"article"};
+  garbage.add_field("author/last", "Zzqqxxyy");
+  const auto result = fuzzy.search(garbage);
+  EXPECT_FALSE(result.corrected);
+  EXPECT_TRUE(result.results.empty());
+}
+
+}  // namespace
+}  // namespace dhtidx::index

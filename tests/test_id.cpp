@@ -1,0 +1,156 @@
+#include "common/id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace dhtidx {
+namespace {
+
+TEST(Id, DefaultIsZero) {
+  EXPECT_EQ(Id{}.to_hex(), std::string(40, '0'));
+}
+
+TEST(Id, HexRoundTrip) {
+  const Id id = Id::hash("round-trip");
+  EXPECT_EQ(Id::from_hex(id.to_hex()), id);
+}
+
+TEST(Id, FromHexUppercase) {
+  const Id a = Id::from_hex("00FF00FF00FF00FF00FF00FF00FF00FF00FF00FF");
+  const Id b = Id::from_hex("00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Id, FromHexRejectsBadLength) {
+  EXPECT_THROW(Id::from_hex("abcd"), ParseError);
+  EXPECT_THROW(Id::from_hex(std::string(41, '0')), ParseError);
+}
+
+TEST(Id, FromHexRejectsNonHex) {
+  EXPECT_THROW(Id::from_hex(std::string(39, '0') + "g"), ParseError);
+}
+
+TEST(Id, FromUint64PlacesLowBytes) {
+  const Id id = Id::from_uint64(0x0102030405060708ull);
+  EXPECT_EQ(id.to_hex(), std::string(24, '0') + "0102030405060708");
+}
+
+TEST(Id, Brief) {
+  EXPECT_EQ(Id::from_uint64(1).brief().size(), 8u);
+}
+
+TEST(Id, OrderingMatchesNumericValue) {
+  EXPECT_LT(Id::from_uint64(1), Id::from_uint64(2));
+  EXPECT_LT(Id::from_uint64(0xFF), Id::from_uint64(0x100));
+}
+
+TEST(Id, AddPowerOfTwoSmall) {
+  EXPECT_EQ(Id::from_uint64(5).add_power_of_two(0), Id::from_uint64(6));
+  EXPECT_EQ(Id::from_uint64(5).add_power_of_two(3), Id::from_uint64(13));
+  EXPECT_EQ(Id::from_uint64(0xFF).add_power_of_two(0), Id::from_uint64(0x100));
+}
+
+TEST(Id, AddPowerOfTwoCarriesAcrossBytes) {
+  EXPECT_EQ(Id::from_uint64(0xFFFF).add_power_of_two(0), Id::from_uint64(0x10000));
+}
+
+TEST(Id, AddPowerOfTwoHighBit) {
+  // id + 2^159 flips the top bit.
+  const Id id;
+  const Id shifted = id.add_power_of_two(159);
+  EXPECT_EQ(shifted.to_hex(), "8" + std::string(39, '0'));
+}
+
+TEST(Id, AddPowerOfTwoWrapsAround) {
+  // max + 1 == 0 on the circle.
+  const Id max = Id::from_hex(std::string(40, 'f'));
+  EXPECT_EQ(max.successor_value(), Id{});
+}
+
+TEST(Id, InOpenBasic) {
+  const Id a = Id::from_uint64(10);
+  const Id b = Id::from_uint64(20);
+  EXPECT_TRUE(Id::in_open(Id::from_uint64(15), a, b));
+  EXPECT_FALSE(Id::in_open(a, a, b));
+  EXPECT_FALSE(Id::in_open(b, a, b));
+  EXPECT_FALSE(Id::in_open(Id::from_uint64(25), a, b));
+}
+
+TEST(Id, InOpenWrapsPastZero) {
+  const Id a = Id::from_hex("f" + std::string(39, '0'));
+  const Id b = Id::from_uint64(10);
+  EXPECT_TRUE(Id::in_open(Id::from_uint64(5), a, b));
+  EXPECT_TRUE(Id::in_open(Id::from_hex("f" + std::string(39, '1')), a, b));
+  EXPECT_FALSE(Id::in_open(Id::from_uint64(10), a, b));
+  EXPECT_FALSE(Id::in_open(Id::from_uint64(11), a, b));
+}
+
+TEST(Id, InOpenDegenerateArcIsWholeCircleMinusEndpoint) {
+  const Id a = Id::from_uint64(7);
+  EXPECT_FALSE(Id::in_open(a, a, a));
+  EXPECT_TRUE(Id::in_open(Id::from_uint64(8), a, a));
+}
+
+TEST(Id, InHalfOpenIncludesUpperBound) {
+  const Id a = Id::from_uint64(10);
+  const Id b = Id::from_uint64(20);
+  EXPECT_TRUE(Id::in_half_open(b, a, b));
+  EXPECT_FALSE(Id::in_half_open(a, a, b));
+}
+
+TEST(Id, InHalfOpenDegenerateArcIsWholeCircle) {
+  const Id a = Id::from_uint64(3);
+  EXPECT_TRUE(Id::in_half_open(a, a, a));
+  EXPECT_TRUE(Id::in_half_open(Id::from_uint64(99), a, a));
+}
+
+TEST(Id, ClockwiseDistanceForward) {
+  EXPECT_DOUBLE_EQ(Id::from_uint64(10).clockwise_distance(Id::from_uint64(25)), 15.0);
+}
+
+TEST(Id, ClockwiseDistanceWraps) {
+  // From 25 back to 10 goes almost all the way around.
+  const double dist = Id::from_uint64(25).clockwise_distance(Id::from_uint64(10));
+  EXPECT_GT(dist, 1e40);  // ~2^160
+}
+
+TEST(Id, HasherSpreadsValues) {
+  std::unordered_set<std::size_t> hashes;
+  IdHasher hasher;
+  for (int i = 0; i < 100; ++i) {
+    hashes.insert(hasher(Id::hash("key-" + std::to_string(i))));
+  }
+  EXPECT_GT(hashes.size(), 95u);
+}
+
+class IdIntervalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IdIntervalPropertyTest, HalfOpenEquivalentToOpenPlusEndpoint) {
+  const Id a = Id::hash("a" + std::to_string(GetParam()));
+  const Id b = Id::hash("b" + std::to_string(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    const Id x = Id::hash("x" + std::to_string(i));
+    EXPECT_EQ(Id::in_half_open(x, a, b), Id::in_open(x, a, b) || x == b)
+        << x.to_hex() << " in (" << a.to_hex() << ", " << b.to_hex() << "]";
+  }
+}
+
+TEST_P(IdIntervalPropertyTest, OpenArcAndComplementPartitionCircle) {
+  const Id a = Id::hash("p" + std::to_string(GetParam()));
+  const Id b = Id::hash("q" + std::to_string(GetParam()));
+  if (a == b) return;
+  for (int i = 0; i < 50; ++i) {
+    const Id x = Id::hash("y" + std::to_string(i));
+    if (x == a || x == b) continue;
+    // Every other point is in exactly one of (a,b) and (b,a).
+    EXPECT_NE(Id::in_open(x, a, b), Id::in_open(x, b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdIntervalPropertyTest, ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace dhtidx

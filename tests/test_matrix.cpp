@@ -1,0 +1,128 @@
+// Cross-product smoke matrix: every indexing scheme on every substrate with
+// every cache policy resolves a small corpus completely and deterministically.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "biblio/corpus.hpp"
+#include "dht/can.hpp"
+#include "dht/chord.hpp"
+#include "dht/pastry.hpp"
+#include "dht/ring.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+
+namespace dhtidx {
+namespace {
+
+enum class Net { kRing, kChord, kCan, kPastry };
+
+std::string net_name(Net net) {
+  switch (net) {
+    case Net::kRing:
+      return "ring";
+    case Net::kChord:
+      return "chord";
+    case Net::kCan:
+      return "can";
+    case Net::kPastry:
+      return "pastry";
+  }
+  return "?";
+}
+
+using MatrixParam = std::tuple<Net, index::SchemeKind, index::CachePolicy>;
+
+class StackMatrixTest : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  static const biblio::Corpus& corpus() {
+    static const biblio::Corpus c = [] {
+      biblio::CorpusConfig config;
+      config.articles = 30;
+      config.authors = 12;
+      config.conferences = 5;
+      return biblio::Corpus::generate(config);
+    }();
+    return c;
+  }
+};
+
+TEST_P(StackMatrixTest, EveryArticleResolvesOnEveryStack) {
+  const auto [net, scheme, policy] = GetParam();
+
+  std::optional<dht::Ring> ring;
+  std::optional<dht::ChordNetwork> chord;
+  std::optional<dht::CanNetwork> can;
+  std::optional<dht::PastryNetwork> pastry;
+  dht::Dht* substrate = nullptr;
+  switch (net) {
+    case Net::kRing:
+      ring.emplace(dht::Ring::with_nodes(16));
+      substrate = &*ring;
+      break;
+    case Net::kChord:
+      chord.emplace(42);
+      for (int i = 0; i < 12; ++i) {
+        chord->add_node("c" + std::to_string(i));
+        chord->stabilize_round();
+        chord->stabilize_round();
+      }
+      ASSERT_GE(chord->stabilize_until_converged(), 0);
+      substrate = &*chord;
+      break;
+    case Net::kCan:
+      can.emplace(42);
+      for (int i = 0; i < 12; ++i) can->add_node("c" + std::to_string(i));
+      substrate = &*can;
+      break;
+    case Net::kPastry:
+      pastry.emplace(42);
+      for (int i = 0; i < 12; ++i) pastry->add_node("c" + std::to_string(i));
+      for (int r = 0; r < 3; ++r) pastry->repair_round();
+      ASSERT_TRUE(pastry->leaf_sets_correct());
+      substrate = &*pastry;
+      break;
+  }
+
+  net::TrafficLedger ledger;
+  storage::DhtStore store{*substrate, ledger};
+  index::IndexService service{*substrate, ledger, 10};
+  index::IndexBuilder builder{service, store, index::IndexingScheme::make(scheme)};
+  for (const auto& a : corpus().articles()) {
+    builder.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+  }
+  index::LookupEngine engine{service, store, {policy}};
+  for (const auto& a : corpus().articles()) {
+    for (const auto& q : {a.author_query(), a.title_query(), a.conference_year_query()}) {
+      const auto outcome = engine.resolve(q, a.msd());
+      ASSERT_TRUE(outcome.found)
+          << net_name(net) << "/" << to_string(scheme) << "/" << to_string(policy)
+          << " article " << a.id << " query " << q.canonical();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullStack, StackMatrixTest,
+    ::testing::Combine(::testing::Values(Net::kRing, Net::kChord, Net::kCan, Net::kPastry),
+                       ::testing::Values(index::SchemeKind::kSimple,
+                                         index::SchemeKind::kFlat,
+                                         index::SchemeKind::kComplex),
+                       ::testing::Values(index::CachePolicy::kNone,
+                                         index::CachePolicy::kSingle,
+                                         index::CachePolicy::kMulti,
+                                         index::CachePolicy::kLru)),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      return net_name(std::get<0>(info.param)) + "_" +
+             index::to_string(std::get<1>(info.param)) + "_" +
+             [](index::CachePolicy p) {
+               std::string s = index::to_string(p);
+               for (char& c : s) {
+                 if (c == '-') c = '_';
+               }
+               return s;
+             }(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace dhtidx

@@ -1,0 +1,82 @@
+// Odds and ends: helpers and guard paths not covered by the module suites.
+#include <gtest/gtest.h>
+
+#include "biblio/article.hpp"
+#include "dht/ring.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+#include "sim/metrics.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace dhtidx {
+namespace {
+
+TEST(Percentile, InterpolatesSortedValues) {
+  const std::vector<double> values{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(sim::percentile(values, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::percentile(values, 100), 4.0);
+  EXPECT_DOUBLE_EQ(sim::percentile(values, 50), 2.5);
+  EXPECT_DOUBLE_EQ(sim::percentile(values, 25), 1.75);
+}
+
+TEST(Percentile, EdgeCases) {
+  EXPECT_DOUBLE_EQ(sim::percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(sim::percentile({7.0}, 99), 7.0);
+}
+
+TEST(XmlWriter, ElementWithChildrenAndTextRoundTrips) {
+  xml::Element root{"entry"};
+  root.add_child("tag", "value");
+  root.set_text("trailing prose");
+  for (const bool pretty : {true, false}) {
+    const xml::Element reparsed = xml::parse(xml::write(root, {.pretty = pretty}));
+    EXPECT_EQ(reparsed.text(), "trailing prose");
+    ASSERT_EQ(reparsed.children().size(), 1u);
+    EXPECT_EQ(reparsed.children()[0].text(), "value");
+  }
+}
+
+TEST(LookupEngine, InteractionBudgetBoundsRunawayLookups) {
+  // A pathological target that is never stored: the engine gives up within
+  // the configured budget instead of spinning.
+  dht::Ring ring = dht::Ring::with_nodes(8);
+  net::TrafficLedger ledger;
+  storage::DhtStore store{ring, ledger};
+  index::IndexService service{ring, ledger};
+  index::LookupEngine engine{service, store, {index::CachePolicy::kNone, 5}};
+  query::Query q{"article"};
+  q.add_field("author/last", "A").add_field("title", "B").add_field("year", "C");
+  q.add_field("conf", "D");
+  const auto outcome = engine.resolve(q, q);  // q "is" its own MSD but unstored
+  EXPECT_FALSE(outcome.found);
+  EXPECT_LE(outcome.interactions, 5);
+}
+
+TEST(LookupEngine, SearchDepthLimitCapsTraversal) {
+  // A deep custom chain: depth limit 1 stops before the MSD level.
+  dht::Ring ring = dht::Ring::with_nodes(8);
+  net::TrafficLedger ledger;
+  storage::DhtStore store{ring, ledger};
+  index::IndexService service{ring, ledger};
+  index::IndexBuilder builder{service, store, index::IndexingScheme::complex()};
+  biblio::Article a;
+  a.first_name = "F";
+  a.last_name = "L";
+  a.title = "T";
+  a.conference = "C";
+  a.year = 2000;
+  a.file_bytes = 1;
+  builder.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+  index::LookupEngine engine{service, store, {index::CachePolicy::kNone}};
+  EXPECT_TRUE(engine.search_all(a.author_query(), /*depth_limit=*/8).size() == 1);
+  EXPECT_TRUE(engine.search_all(a.author_query(), /*depth_limit=*/1).empty());
+}
+
+TEST(Scheme, Figure4HasItsOwnName) {
+  EXPECT_EQ(index::IndexingScheme::figure4().name(), "figure4");
+  EXPECT_EQ(index::IndexingScheme::figure4().path_rules().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dhtidx

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "net/failure.hpp"
+#include "net/latency.hpp"
+#include "net/stats.hpp"
+
+namespace dhtidx::net {
+namespace {
+
+TEST(TrafficStats, RecordsMessagesAndBytes) {
+  TrafficStats stats;
+  stats.record(100);
+  stats.record(50);
+  EXPECT_EQ(stats.messages(), 2u);
+  EXPECT_EQ(stats.bytes(), 150u);
+  stats.reset();
+  EXPECT_EQ(stats.messages(), 0u);
+  EXPECT_EQ(stats.bytes(), 0u);
+}
+
+TEST(TrafficStats, MergeAccumulates) {
+  TrafficStats a, b;
+  a.record(10);
+  b.record(20);
+  b.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.messages(), 3u);
+  EXPECT_EQ(a.bytes(), 60u);
+}
+
+TEST(TrafficLedger, SplitsCategories) {
+  TrafficLedger ledger;
+  ledger.queries.record(10);
+  ledger.responses.record(100);
+  ledger.cache.record(40);
+  ledger.routing.record(5);
+  EXPECT_EQ(ledger.normal_bytes(), 110u);
+  EXPECT_EQ(ledger.total_bytes(), 155u);
+  ledger.reset();
+  EXPECT_EQ(ledger.total_bytes(), 0u);
+}
+
+TEST(LatencyModel, ConstantDistribution) {
+  LatencyModel model{LatencyDistribution::kConstant, 25.0, 1};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(model.sample_hop_ms(), 25.0);
+  }
+  EXPECT_DOUBLE_EQ(model.elapsed_ms(), 250.0);
+  model.reset_elapsed();
+  EXPECT_DOUBLE_EQ(model.elapsed_ms(), 0.0);
+}
+
+TEST(LatencyModel, UniformStaysInRange) {
+  LatencyModel model{LatencyDistribution::kUniform, 40.0, 2};
+  for (int i = 0; i < 1000; ++i) {
+    const double hop = model.sample_hop_ms();
+    ASSERT_GE(hop, 20.0);
+    ASSERT_LT(hop, 60.0);
+  }
+}
+
+TEST(LatencyModel, ExponentialMeanApproximatelyCorrect) {
+  LatencyModel model{LatencyDistribution::kExponential, 50.0, 3};
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) model.sample_hop_ms();
+  EXPECT_NEAR(model.elapsed_ms() / kN, 50.0, 2.0);
+}
+
+TEST(FailureInjector, CrashedNodesRejectDelivery) {
+  FailureInjector failures;
+  const Id node = Id::hash("victim");
+  failures.check_delivery(node);  // fine before crash
+  failures.crash(node);
+  EXPECT_TRUE(failures.is_crashed(node));
+  EXPECT_EQ(failures.crashed_count(), 1u);
+  EXPECT_THROW(failures.check_delivery(node), RpcError);
+  failures.recover(node);
+  failures.check_delivery(node);
+  EXPECT_FALSE(failures.is_crashed(node));
+}
+
+TEST(FailureInjector, DropProbabilityLosesMessages) {
+  FailureInjector failures{1234, 0.5};
+  const Id node = Id::hash("flaky");
+  int dropped = 0;
+  for (int i = 0; i < 2000; ++i) {
+    try {
+      failures.check_delivery(node);
+    } catch (const RpcError&) {
+      ++dropped;
+    }
+  }
+  EXPECT_NEAR(dropped / 2000.0, 0.5, 0.05);
+}
+
+TEST(FailureInjector, ZeroDropNeverLoses) {
+  FailureInjector failures{1, 0.0};
+  const Id node = Id::hash("solid");
+  for (int i = 0; i < 100; ++i) failures.check_delivery(node);
+}
+
+}  // namespace
+}  // namespace dhtidx::net

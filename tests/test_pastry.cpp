@@ -1,0 +1,178 @@
+// Pastry substrate: digit arithmetic, leaf sets, prefix routing, repair, and
+// the indexing stack over prefix-routed geometry.
+#include "dht/pastry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "biblio/corpus.hpp"
+#include "common/error.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+
+namespace dhtidx::dht {
+namespace {
+
+PastryNetwork make_network(std::size_t n, std::uint64_t seed = 5) {
+  PastryNetwork net{seed};
+  for (std::size_t i = 0; i < n; ++i) net.add_node("pastry-" + std::to_string(i));
+  for (int r = 0; r < 3; ++r) net.repair_round();
+  return net;
+}
+
+/// Oracle: the numerically closest live node.
+Id oracle_root(const PastryNetwork& net, const Id& key) {
+  const auto live = net.node_ids();
+  Id best = live.front();
+  for (const Id& node : live) {
+    if (pastry_closer(node, best, key)) best = node;
+  }
+  return best;
+}
+
+TEST(PastryDigits, NibbleExtraction) {
+  const Id id = Id::from_hex("0123456789abcdef" + std::string(24, '0'));
+  EXPECT_EQ(pastry_digit(id, 0), 0x0);
+  EXPECT_EQ(pastry_digit(id, 1), 0x1);
+  EXPECT_EQ(pastry_digit(id, 10), 0xa);
+  EXPECT_EQ(pastry_digit(id, 15), 0xf);
+  EXPECT_EQ(pastry_digit(id, 16), 0x0);
+}
+
+TEST(PastryDigits, SharedPrefixLength) {
+  const Id a = Id::from_hex("abcd" + std::string(36, '0'));
+  const Id b = Id::from_hex("abce" + std::string(36, '0'));
+  EXPECT_EQ(pastry_prefix(a, b), 3u);
+  EXPECT_EQ(pastry_prefix(a, a), kPastryDigits);
+}
+
+TEST(PastryCloser, NumericCircleDistance) {
+  const Id k = Id::from_uint64(100);
+  EXPECT_TRUE(pastry_closer(Id::from_uint64(99), Id::from_uint64(104), k));
+  EXPECT_TRUE(pastry_closer(Id::from_uint64(103), Id::from_uint64(90), k));
+  // Wrap-around: max-id is distance 101 from key 100.
+  const Id max = Id::from_hex(std::string(40, 'f'));
+  EXPECT_TRUE(pastry_closer(Id::from_uint64(180), max, k));
+  // Ties broken by smaller id: 99 and 101 are both distance 1.
+  EXPECT_TRUE(pastry_closer(Id::from_uint64(99), Id::from_uint64(101), k));
+  EXPECT_FALSE(pastry_closer(Id::from_uint64(101), Id::from_uint64(99), k));
+}
+
+TEST(Pastry, SingleNodeOwnsAllKeys) {
+  PastryNetwork net;
+  const Id only = net.add_node("solo");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(net.lookup(Id::hash("k" + std::to_string(i))).node, only);
+  }
+}
+
+TEST(Pastry, LeafSetsConvergeAfterJoins) {
+  const PastryNetwork net = make_network(20);
+  EXPECT_TRUE(net.leaf_sets_correct());
+}
+
+class PastryOracleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PastryOracleTest, RoutingMatchesNumericallyClosestNode) {
+  PastryNetwork net = make_network(GetParam());
+  ASSERT_TRUE(net.leaf_sets_correct());
+  for (int i = 0; i < 80; ++i) {
+    const Id key = Id::hash("key-" + std::to_string(i));
+    EXPECT_EQ(net.lookup(key).node, oracle_root(net, key)) << key.brief();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PastryOracleTest, ::testing::Values(1, 2, 3, 8, 24, 64));
+
+TEST(Pastry, HopsStayLogarithmic) {
+  PastryNetwork net = make_network(64, 9);
+  double total = 0;
+  constexpr int kLookups = 150;
+  for (int i = 0; i < kLookups; ++i) {
+    total += net.lookup(Id::hash("h" + std::to_string(i))).hops;
+  }
+  // log16(64) ~ 1.5; leaf-set walks can add a few. Rule out O(n) behaviour.
+  EXPECT_LT(total / kLookups, 10.0);
+}
+
+TEST(Pastry, RoutingTrafficAccounted) {
+  PastryNetwork net = make_network(16, 11);
+  net.routing_stats().reset();
+  net.lookup(Id::hash("probe"));
+  EXPECT_GT(net.routing_stats().messages(), 0u);
+}
+
+TEST(Pastry, CrashRepairedByRepairRounds) {
+  PastryNetwork net = make_network(24, 13);
+  auto ids = net.node_ids();
+  net.crash(ids[2]);
+  net.crash(ids[9]);
+  net.crash(ids[17]);
+  for (int r = 0; r < 5; ++r) net.repair_round();
+  EXPECT_TRUE(net.leaf_sets_correct());
+  for (int i = 0; i < 60; ++i) {
+    const Id key = Id::hash("crash-" + std::to_string(i));
+    EXPECT_EQ(net.lookup(key).node, oracle_root(net, key));
+  }
+}
+
+TEST(Pastry, LateJoinIntegrates) {
+  PastryNetwork net = make_network(12, 17);
+  const Id fresh = net.add_node("latecomer");
+  for (int r = 0; r < 3; ++r) net.repair_round();
+  EXPECT_TRUE(net.leaf_sets_correct());
+  bool owns_something = false;
+  for (int i = 0; i < 300; ++i) {
+    const Id key = Id::hash("late-" + std::to_string(i));
+    const Id owner = net.lookup(key).node;
+    EXPECT_EQ(owner, oracle_root(net, key));
+    if (owner == fresh) owns_something = true;
+  }
+  EXPECT_TRUE(owns_something);
+}
+
+TEST(Pastry, DuplicateNodeRejected) {
+  PastryNetwork net = make_network(3, 19);
+  EXPECT_THROW(net.add_node("pastry-1"), dhtidx::InvariantError);
+}
+
+TEST(Pastry, RoutingTableHoldsPrefixMatches) {
+  PastryNetwork net = make_network(32, 23);
+  for (const Id& id : net.node_ids()) {
+    const PastryNode& n = net.node(id);
+    for (std::size_t row = 0; row < 3; ++row) {
+      for (std::size_t col = 0; col < PastryNode::kColumns; ++col) {
+        const auto entry = n.table_entry(row, col);
+        if (!entry) continue;
+        EXPECT_EQ(pastry_prefix(id, *entry), row);
+        EXPECT_EQ(static_cast<std::size_t>(pastry_digit(*entry, row)), col);
+      }
+    }
+  }
+}
+
+TEST(Pastry, IndexStackRunsOverPastry) {
+  PastryNetwork net = make_network(20, 29);
+  biblio::CorpusConfig config;
+  config.articles = 30;
+  config.authors = 12;
+  config.conferences = 5;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+
+  net::TrafficLedger ledger;
+  storage::DhtStore store{net, ledger};
+  index::IndexService service{net, ledger};
+  index::IndexBuilder builder{service, store, index::IndexingScheme::simple()};
+  for (const auto& a : corpus.articles()) {
+    builder.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+  }
+  index::LookupEngine engine{service, store, {index::CachePolicy::kSingle}};
+  for (const auto& a : corpus.articles()) {
+    const auto outcome = engine.resolve(a.author_query(), a.msd());
+    ASSERT_TRUE(outcome.found) << a.title;
+  }
+  const auto& a = corpus.article(0);
+  EXPECT_TRUE(engine.resolve(a.author_query(), a.msd()).cache_hit);
+}
+
+}  // namespace
+}  // namespace dhtidx::dht

@@ -1,0 +1,200 @@
+#include "query/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "xml/parser.hpp"
+
+namespace dhtidx::query {
+namespace {
+
+TEST(QueryParse, PaperStylePathQuery) {
+  // q4 = /article/title/TCP -- the last step is the value.
+  const Query q = Query::parse("/article/title/TCP");
+  EXPECT_EQ(q.root(), "article");
+  ASSERT_EQ(q.constraints().size(), 1u);
+  EXPECT_EQ(q.constraints()[0].path_string(), "title");
+  EXPECT_EQ(q.constraints()[0].value, "TCP");
+}
+
+TEST(QueryParse, DeepPathQuery) {
+  // q6 = /article/author/last/Smith.
+  const Query q = Query::parse("/article/author/last/Smith");
+  ASSERT_EQ(q.constraints().size(), 1u);
+  EXPECT_EQ(q.constraints()[0].path_string(), "author/last");
+  EXPECT_EQ(q.constraints()[0].value, "Smith");
+}
+
+TEST(QueryParse, NestedPredicates) {
+  // q3 = /article/author[first/John][last/Smith].
+  const Query q = Query::parse("/article/author[first/John][last/Smith]");
+  ASSERT_EQ(q.constraints().size(), 2u);
+  EXPECT_EQ(q.constraints()[0].path_string(), "author/first");
+  EXPECT_EQ(q.constraints()[0].value, "John");
+  EXPECT_EQ(q.constraints()[1].path_string(), "author/last");
+  EXPECT_EQ(q.constraints()[1].value, "Smith");
+}
+
+TEST(QueryParse, FullMostSpecificQuery) {
+  // q1 from Figure 2.
+  const Query q = Query::parse(
+      "/article[author[first/John][last/Smith]][title/TCP][conf/SIGCOMM]"
+      "[year/1989][size/315635]");
+  EXPECT_EQ(q.constraints().size(), 6u);
+}
+
+TEST(QueryParse, ExplicitValueSyntax) {
+  const Query a = Query::parse("/article[author/last=Smith]");
+  const Query b = Query::parse("/article/author/last/Smith");
+  EXPECT_EQ(a, b);
+}
+
+TEST(QueryParse, QuotedValues) {
+  const Query q = Query::parse("/article[title='A = B [sic] /ok\\' quote']");
+  ASSERT_EQ(q.constraints().size(), 1u);
+  EXPECT_EQ(q.constraints()[0].value, "A = B [sic] /ok' quote");
+}
+
+TEST(QueryParse, PresenceSingleStep) {
+  const Query q = Query::parse("/article/author");
+  ASSERT_EQ(q.constraints().size(), 1u);
+  EXPECT_EQ(q.constraints()[0].path_string(), "author");
+  EXPECT_FALSE(q.constraints()[0].value.has_value());
+}
+
+TEST(QueryParse, PresenceMarkerForNestedField) {
+  const Query q = Query::parse("/article[author/last=*]");
+  ASSERT_EQ(q.constraints().size(), 1u);
+  EXPECT_EQ(q.constraints()[0].path_string(), "author/last");
+  EXPECT_FALSE(q.constraints()[0].value.has_value());
+}
+
+TEST(QueryParse, RootOnly) {
+  const Query q = Query::parse("/article");
+  EXPECT_EQ(q.root(), "article");
+  EXPECT_FALSE(q.has_constraints());
+}
+
+TEST(QueryParse, DescendantAxisInPredicate) {
+  const Query q = Query::parse("/article[//last/Smith]");
+  ASSERT_EQ(q.constraints().size(), 1u);
+  EXPECT_TRUE(q.constraints()[0].descendant);
+  EXPECT_EQ(q.constraints()[0].path_string(), "last");
+  EXPECT_EQ(q.constraints()[0].value, "Smith");
+}
+
+TEST(QueryParse, WildcardSegment) {
+  const Query q = Query::parse("/article[*/last=Smith]");
+  ASSERT_EQ(q.constraints().size(), 1u);
+  EXPECT_EQ(q.constraints()[0].path_string(), "*/last");
+}
+
+TEST(QueryParse, MalformedInputsRejected) {
+  EXPECT_THROW(Query::parse(""), ParseError);
+  EXPECT_THROW(Query::parse("article"), ParseError);
+  EXPECT_THROW(Query::parse("/article[unclosed"), ParseError);
+  EXPECT_THROW(Query::parse("/article]"), ParseError);
+  EXPECT_THROW(Query::parse("/article[=x]"), ParseError);
+  EXPECT_THROW(Query::parse("//article"), ParseError);
+  EXPECT_THROW(Query::parse("/article[a=]"), ParseError);
+}
+
+TEST(QueryNormalization, EquivalentSpellingsShareCanonicalForm) {
+  // Footnote 1: equivalent expressions are transformed into a unique
+  // normalized format (and hence the same DHT key).
+  const Query a = Query::parse("/article[author[first/John][last/Smith]][conf/INFOCOM]");
+  const Query b = Query::parse("/article[conf=INFOCOM][author/last=Smith][author/first=John]");
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(QueryNormalization, DuplicateConstraintsCollapse) {
+  const Query q = Query::parse("/article[title/TCP][title=TCP]");
+  EXPECT_EQ(q.constraints().size(), 1u);
+}
+
+TEST(QueryCanonical, RoundTripsThroughParser) {
+  const char* samples[] = {
+      "/article/title/TCP",
+      "/article[author[first/John][last/Smith]][conf/SIGCOMM]",
+      "/article[author/last=*]",
+      "/article/author",
+      "/article[//last/Smith]",
+      "/article[title='we [heart] DHTs']",
+      "/article[*/last=Doe]",
+  };
+  for (const char* text : samples) {
+    const Query q = Query::parse(text);
+    const Query reparsed = Query::parse(q.canonical());
+    EXPECT_EQ(reparsed, q) << text << " -> " << q.canonical();
+    EXPECT_EQ(reparsed.canonical(), q.canonical());
+  }
+}
+
+TEST(QueryCanonical, QuotesStarValue) {
+  Query q{"article"};
+  q.add_field("title", "*");
+  const Query reparsed = Query::parse(q.canonical());
+  ASSERT_EQ(reparsed.constraints().size(), 1u);
+  EXPECT_EQ(reparsed.constraints()[0].value, "*");
+}
+
+TEST(QueryBuild, AddFieldMatchesParsedForm) {
+  Query q{"article"};
+  q.add_field("author/first", "John").add_field("author/last", "Smith");
+  EXPECT_EQ(q, Query::parse("/article/author[first/John][last/Smith]"));
+}
+
+TEST(QueryBuild, EmptyPathRejected) {
+  Query q{"article"};
+  EXPECT_THROW(q.add_constraint(Constraint{}), InvariantError);
+}
+
+TEST(QueryMostSpecific, CapturesAllLeaves) {
+  const xml::Element doc = xml::parse(
+      "<article><author><first>John</first><last>Smith</last></author>"
+      "<title>TCP</title><conf>SIGCOMM</conf><year>1989</year>"
+      "<size>315635</size></article>");
+  const Query msd = Query::most_specific(doc);
+  EXPECT_EQ(msd.constraints().size(), 6u);
+  EXPECT_TRUE(msd.matches(doc));
+  EXPECT_TRUE(msd.is_most_specific_of(doc));
+  // The paper's q1 is exactly this query.
+  const Query q1 = Query::parse(
+      "/article[author[first/John][last/Smith]][title/TCP][conf/SIGCOMM]"
+      "[year/1989][size/315635]");
+  EXPECT_EQ(msd, q1);
+}
+
+TEST(QueryGeneralizations, DropOneProducesCoveringQueries) {
+  const Query q = Query::parse("/article[author/last=Smith][year=1996][conf=INFOCOM]");
+  const auto gens = q.drop_one_generalizations();
+  ASSERT_EQ(gens.size(), 3u);
+  for (const Query& g : gens) {
+    EXPECT_EQ(g.constraints().size(), 2u);
+    EXPECT_TRUE(g.covers(q));
+    EXPECT_FALSE(q.covers(g));
+  }
+}
+
+TEST(QueryKeepConstraints, SelectsSubset) {
+  const Query q = Query::parse("/article[conf=A][title=B][year=C]");
+  const Query sub = q.keep_constraints({0, 2});
+  EXPECT_EQ(sub.constraints().size(), 2u);
+  EXPECT_TRUE(sub.covers(q));
+  EXPECT_THROW(q.keep_constraints({9}), InvariantError);
+}
+
+TEST(QueryByteSize, TracksCanonicalLength) {
+  const Query q = Query::parse("/article/title/TCP");
+  EXPECT_EQ(q.byte_size(), q.canonical().size());
+}
+
+TEST(QueryHasherWorks, DistinctQueriesDistinctHashes) {
+  QueryHasher hasher;
+  EXPECT_NE(hasher(Query::parse("/article/title/TCP")),
+            hasher(Query::parse("/article/title/IPV6")));
+}
+
+}  // namespace
+}  // namespace dhtidx::query

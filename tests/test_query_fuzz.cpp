@@ -1,0 +1,157 @@
+// Randomized property tests over the query algebra: for arbitrary queries
+// and descriptors drawn from a shared vocabulary, the covering relation must
+// be sound w.r.t. matching, canonicalization must round-trip, and the
+// generalization operators must behave monotonically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "query/query.hpp"
+#include "xml/node.hpp"
+
+namespace dhtidx::query {
+namespace {
+
+constexpr const char* kFields[] = {"author/first", "author/last", "title", "conf",
+                                   "year", "pages", "editor/last"};
+constexpr const char* kValues[] = {"A", "B", "C", "Smith", "Doe", "TCP", "1996",
+                                   "INFOCOM", "x y", "it's", "[odd]", "a=b", "*"};
+
+/// A random conjunctive query over the shared vocabulary.
+Query random_query(Rng& rng) {
+  Query q{"article"};
+  const int constraints = static_cast<int>(rng.next_in(0, 4));
+  for (int i = 0; i < constraints; ++i) {
+    const char* field = kFields[rng.next_index(std::size(kFields))];
+    const double kind = rng.next_double();
+    if (kind < 0.15) {
+      q.add_presence(field);
+    } else if (kind < 0.3) {
+      std::string value = kValues[rng.next_index(std::size(kValues))];
+      if (!value.empty()) q.add_prefix(field, value.substr(0, 1));
+    } else {
+      q.add_field(field, kValues[rng.next_index(std::size(kValues))]);
+    }
+  }
+  return q;
+}
+
+/// A random descriptor assigning values to a subset of the fields.
+xml::Element random_descriptor(Rng& rng) {
+  xml::Element doc{"article"};
+  xml::Element author{"author"};
+  bool has_author = false;
+  for (const char* field : kFields) {
+    if (!rng.next_bool(0.7)) continue;
+    const std::string value = kValues[rng.next_index(std::size(kValues))];
+    const std::vector<std::string> parts = [&] {
+      std::vector<std::string> out;
+      std::string part;
+      for (const char c : std::string{field}) {
+        if (c == '/') {
+          out.push_back(part);
+          part.clear();
+        } else {
+          part.push_back(c);
+        }
+      }
+      out.push_back(part);
+      return out;
+    }();
+    if (parts.size() == 1) {
+      doc.add_child(parts[0], value);
+    } else if (parts[0] == "author") {
+      author.add_child(parts[1], value);
+      has_author = true;
+    } else {
+      xml::Element nested{parts[0]};
+      nested.add_child(parts[1], value);
+      doc.add_child(std::move(nested));
+    }
+  }
+  if (has_author) doc.add_child(author);
+  if (doc.children().empty()) doc.add_child("title", "fallback");
+  return doc;
+}
+
+class QueryFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueryFuzzTest, CoversIsSoundForMatching) {
+  // If a covers b, then every document matching b matches a.
+  Rng rng{GetParam()};
+  std::vector<Query> queries;
+  std::vector<xml::Element> docs;
+  for (int i = 0; i < 12; ++i) queries.push_back(random_query(rng));
+  for (int i = 0; i < 12; ++i) docs.push_back(random_descriptor(rng));
+  for (const Query& a : queries) {
+    for (const Query& b : queries) {
+      if (!a.covers(b)) continue;
+      for (const xml::Element& doc : docs) {
+        if (b.matches(doc)) {
+          EXPECT_TRUE(a.matches(doc))
+              << a.canonical() << " covers " << b.canonical()
+              << " but misses a doc matching the latter";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(QueryFuzzTest, MsdIsCoveredByEveryMatchingQuery) {
+  Rng rng{GetParam() ^ 0xbeef};
+  for (int i = 0; i < 20; ++i) {
+    const xml::Element doc = random_descriptor(rng);
+    const Query msd = Query::most_specific(doc);
+    EXPECT_TRUE(msd.matches(doc));
+    for (int j = 0; j < 10; ++j) {
+      const Query q = random_query(rng);
+      if (q.matches(doc)) {
+        EXPECT_TRUE(q.covers(msd)) << q.canonical() << " matches the doc of "
+                                   << msd.canonical() << " but does not cover its MSD";
+      }
+    }
+  }
+}
+
+TEST_P(QueryFuzzTest, CanonicalRoundTripsThroughParser) {
+  Rng rng{GetParam() ^ 0xc0de};
+  for (int i = 0; i < 60; ++i) {
+    const Query q = random_query(rng);
+    const Query reparsed = Query::parse(q.canonical());
+    EXPECT_EQ(reparsed, q) << q.canonical();
+    EXPECT_EQ(reparsed.key(), q.key());
+  }
+}
+
+TEST_P(QueryFuzzTest, DropOneGeneralizationsAlwaysCover) {
+  Rng rng{GetParam() ^ 0xfeed};
+  for (int i = 0; i < 40; ++i) {
+    const Query q = random_query(rng);
+    for (const Query& g : q.drop_one_generalizations()) {
+      EXPECT_TRUE(g.covers(q)) << g.canonical() << " vs " << q.canonical();
+    }
+  }
+}
+
+TEST_P(QueryFuzzTest, CoveringIsTransitiveOnRandomTriples) {
+  Rng rng{GetParam() ^ 0x7777};
+  std::vector<Query> queries;
+  for (int i = 0; i < 15; ++i) queries.push_back(random_query(rng));
+  for (const Query& a : queries) {
+    for (const Query& b : queries) {
+      if (!a.covers(b)) continue;
+      for (const Query& c : queries) {
+        if (b.covers(c)) {
+          EXPECT_TRUE(a.covers(c)) << a.canonical() << " | " << b.canonical() << " | "
+                                   << c.canonical();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace dhtidx::query

@@ -1,0 +1,139 @@
+// Query evaluation against descriptors: the match matrix implied by
+// Figures 1-3 of the paper.
+#include <gtest/gtest.h>
+
+#include "query/query.hpp"
+#include "xml/parser.hpp"
+
+namespace dhtidx::query {
+namespace {
+
+class PaperDescriptorsTest : public ::testing::Test {
+ protected:
+  const xml::Element d1 = xml::parse(
+      "<article><author><first>John</first><last>Smith</last></author>"
+      "<title>TCP</title><conf>SIGCOMM</conf><year>1989</year>"
+      "<size>315635</size></article>");
+  const xml::Element d2 = xml::parse(
+      "<article><author><first>John</first><last>Smith</last></author>"
+      "<title>IPv6</title><conf>INFOCOM</conf><year>1996</year>"
+      "<size>312352</size></article>");
+  const xml::Element d3 = xml::parse(
+      "<article><author><first>Alan</first><last>Doe</last></author>"
+      "<title>Wavelets</title><conf>INFOCOM</conf><year>1996</year>"
+      "<size>259827</size></article>");
+};
+
+TEST_F(PaperDescriptorsTest, Q1MatchesOnlyD1) {
+  const Query q1 = Query::parse(
+      "/article[author[first/John][last/Smith]][title/TCP][conf/SIGCOMM]"
+      "[year/1989][size/315635]");
+  EXPECT_TRUE(q1.matches(d1));
+  EXPECT_FALSE(q1.matches(d2));
+  EXPECT_FALSE(q1.matches(d3));
+  EXPECT_TRUE(q1.is_most_specific_of(d1));
+  EXPECT_FALSE(q1.is_most_specific_of(d2));
+}
+
+TEST_F(PaperDescriptorsTest, Q2MatchesOnlyD2) {
+  // John Smith at INFOCOM: only d2.
+  const Query q2 = Query::parse("/article[author[first/John][last/Smith]][conf/INFOCOM]");
+  EXPECT_FALSE(q2.matches(d1));
+  EXPECT_TRUE(q2.matches(d2));
+  EXPECT_FALSE(q2.matches(d3));
+}
+
+TEST_F(PaperDescriptorsTest, Q3MatchesSmithArticles) {
+  const Query q3 = Query::parse("/article/author[first/John][last/Smith]");
+  EXPECT_TRUE(q3.matches(d1));
+  EXPECT_TRUE(q3.matches(d2));
+  EXPECT_FALSE(q3.matches(d3));
+}
+
+TEST_F(PaperDescriptorsTest, Q4MatchesTitleTcp) {
+  const Query q4 = Query::parse("/article/title/TCP");
+  EXPECT_TRUE(q4.matches(d1));
+  EXPECT_FALSE(q4.matches(d2));
+  EXPECT_FALSE(q4.matches(d3));
+}
+
+TEST_F(PaperDescriptorsTest, Q5MatchesInfocomArticles) {
+  const Query q5 = Query::parse("/article/conf/INFOCOM");
+  EXPECT_FALSE(q5.matches(d1));
+  EXPECT_TRUE(q5.matches(d2));
+  EXPECT_TRUE(q5.matches(d3));
+}
+
+TEST_F(PaperDescriptorsTest, Q6MatchesLastNameSmith) {
+  const Query q6 = Query::parse("/article/author/last/Smith");
+  EXPECT_TRUE(q6.matches(d1));
+  EXPECT_TRUE(q6.matches(d2));
+  EXPECT_FALSE(q6.matches(d3));
+}
+
+TEST_F(PaperDescriptorsTest, RootOnlyMatchesAll) {
+  const Query q = Query::parse("/article");
+  EXPECT_TRUE(q.matches(d1));
+  EXPECT_TRUE(q.matches(d2));
+  EXPECT_TRUE(q.matches(d3));
+}
+
+TEST_F(PaperDescriptorsTest, WrongRootMatchesNothing) {
+  const Query q = Query::parse("/book/title/TCP");
+  EXPECT_FALSE(q.matches(d1));
+}
+
+TEST_F(PaperDescriptorsTest, PresenceConstraints) {
+  EXPECT_TRUE(Query::parse("/article/author").matches(d1));
+  EXPECT_TRUE(Query::parse("/article[author/last=*]").matches(d1));
+  EXPECT_FALSE(Query::parse("/article/editor").matches(d1));
+  EXPECT_FALSE(Query::parse("/article[editor/last=*]").matches(d1));
+}
+
+TEST_F(PaperDescriptorsTest, WildcardSegmentMatches) {
+  EXPECT_TRUE(Query::parse("/article[*/last=Smith]").matches(d1));
+  EXPECT_FALSE(Query::parse("/article[*/last=Smith]").matches(d3));
+  EXPECT_TRUE(Query::parse("/*[title=TCP]").matches(d1));
+}
+
+TEST_F(PaperDescriptorsTest, DescendantMatchesAtAnyDepth) {
+  EXPECT_TRUE(Query::parse("/article[//last/Smith]").matches(d1));
+  EXPECT_TRUE(Query::parse("/article[//first/Alan]").matches(d3));
+  EXPECT_FALSE(Query::parse("/article[//last/Nobody]").matches(d1));
+}
+
+TEST_F(PaperDescriptorsTest, ValueComparesLeafTextExactly) {
+  EXPECT_FALSE(Query::parse("/article/title/tcp").matches(d1));  // case-sensitive
+  EXPECT_FALSE(Query::parse("/article/year/19").matches(d1));    // no substring match
+}
+
+TEST(QueryMatch, MultipleSiblingsAnyMatchSuffices) {
+  const xml::Element doc = xml::parse(
+      "<article><author><first>John</first><last>Smith</last></author>"
+      "<author><first>Alan</first><last>Doe</last></author>"
+      "<title>Joint</title></article>");
+  EXPECT_TRUE(Query::parse("/article/author/last/Smith").matches(doc));
+  EXPECT_TRUE(Query::parse("/article/author/last/Doe").matches(doc));
+  EXPECT_FALSE(Query::parse("/article/author/last/Roe").matches(doc));
+}
+
+TEST(QueryMatch, ConjunctionAcrossSiblingsIsPerConstraint) {
+  // Each constraint may be satisfied by a different author element; the
+  // queries of this subset are conjunctions of independent field predicates.
+  const xml::Element doc = xml::parse(
+      "<article><author><first>John</first><last>Smith</last></author>"
+      "<author><first>Alan</first><last>Doe</last></author>"
+      "<title>Joint</title></article>");
+  EXPECT_TRUE(Query::parse("/article[author/first=John][author/last=Doe]").matches(doc));
+}
+
+TEST(QueryMatch, MostSpecificQueryOfEmptyLeaf) {
+  const xml::Element doc = xml::parse("<article><title>T</title><note/></article>");
+  const Query msd = Query::most_specific(doc);
+  // <note/> contributes a presence constraint.
+  EXPECT_TRUE(msd.matches(doc));
+  ASSERT_EQ(msd.constraints().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dhtidx::query

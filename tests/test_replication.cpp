@@ -1,0 +1,195 @@
+// Storage replication over the DHT's replica sets (Section IV-D).
+#include <gtest/gtest.h>
+
+#include "dht/chord.hpp"
+#include "dht/ring.hpp"
+#include "storage/dht_store.hpp"
+
+namespace dhtidx::storage {
+namespace {
+
+Record make_record(const std::string& payload) {
+  Record r;
+  r.kind = "test";
+  r.payload = payload;
+  return r;
+}
+
+TEST(ReplicaSet, DefaultIsPrimaryOnly) {
+  // The base-class default gives no redundancy.
+  class MinimalDht : public dht::Dht {
+   public:
+    dht::LookupResult lookup(const Id&) override { return {Id::hash("only"), 0}; }
+    std::vector<Id> node_ids() const override { return {Id::hash("only")}; }
+    std::size_t size() const override { return 1; }
+  } dht;
+  EXPECT_EQ(dht.replica_set(Id::hash("k"), 3).size(), 1u);
+}
+
+TEST(ReplicaSet, RingReturnsClockwiseSuccessors) {
+  dht::Ring ring;
+  const Id n10 = Id::from_uint64(10);
+  const Id n20 = Id::from_uint64(20);
+  const Id n30 = Id::from_uint64(30);
+  ring.add(n10);
+  ring.add(n20);
+  ring.add(n30);
+  const auto replicas = ring.replica_set(Id::from_uint64(15), 2);
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas[0], n20);
+  EXPECT_EQ(replicas[1], n30);
+  // Wrap-around.
+  const auto wrapped = ring.replica_set(Id::from_uint64(25), 3);
+  ASSERT_EQ(wrapped.size(), 3u);
+  EXPECT_EQ(wrapped[0], n30);
+  EXPECT_EQ(wrapped[1], n10);
+  EXPECT_EQ(wrapped[2], n20);
+}
+
+TEST(ReplicaSet, RingClampsToMembership) {
+  dht::Ring ring = dht::Ring::with_nodes(3);
+  EXPECT_EQ(ring.replica_set(Id::hash("k"), 10).size(), 3u);
+}
+
+TEST(ReplicaSet, ChordUsesSuccessorList) {
+  dht::ChordNetwork net{5};
+  for (int i = 0; i < 10; ++i) {
+    net.add_node("n" + std::to_string(i));
+    net.stabilize_round();
+    net.stabilize_round();
+  }
+  ASSERT_GE(net.stabilize_until_converged(), 0);
+  dht::Ring oracle;
+  for (const Id& id : net.node_ids()) oracle.add(id);
+  const Id key = Id::hash("replicated-key");
+  const auto replicas = net.replica_set(key, 3);
+  const auto expected = oracle.replica_set(key, 3);
+  EXPECT_EQ(replicas, expected);
+}
+
+class ReplicatedStoreTest : public ::testing::Test {
+ protected:
+  dht::Ring ring_ = dht::Ring::with_nodes(12);
+  net::TrafficLedger ledger_;
+  DhtStore store_{ring_, ledger_, /*replication=*/3};
+};
+
+TEST_F(ReplicatedStoreTest, PutWritesAllReplicas) {
+  const Id key = Id::hash("k");
+  store_.put(key, make_record("v"));
+  const auto replicas = ring_.replica_set(key, 3);
+  for (const Id& replica : replicas) {
+    EXPECT_EQ(store_.node_store(replica).get(key).size(), 1u) << replica.brief();
+  }
+  EXPECT_EQ(store_.total_records(), 3u);
+}
+
+TEST_F(ReplicatedStoreTest, GetPrefersPrimary) {
+  const Id key = Id::hash("k");
+  store_.put(key, make_record("v"));
+  const auto result = store_.get(key);
+  EXPECT_EQ(result.node, ring_.successor(key));
+  EXPECT_EQ(result.replicas_tried, 1);
+  ASSERT_EQ(result.records->size(), 1u);
+}
+
+TEST_F(ReplicatedStoreTest, SurvivesPrimaryDataLoss) {
+  const Id key = Id::hash("k");
+  store_.put(key, make_record("precious"));
+  const Id primary = ring_.successor(key);
+  EXPECT_GT(store_.drop_node(primary), 0u);
+  const auto result = store_.get(key);
+  ASSERT_EQ(result.records->size(), 1u);
+  EXPECT_EQ((*result.records)[0].payload, "precious");
+  EXPECT_GT(result.replicas_tried, 1);
+  EXPECT_NE(result.node, primary);
+}
+
+TEST_F(ReplicatedStoreTest, SurvivesTwoReplicaLosses) {
+  const Id key = Id::hash("k2");
+  store_.put(key, make_record("still-here"));
+  const auto replicas = ring_.replica_set(key, 3);
+  store_.drop_node(replicas[0]);
+  store_.drop_node(replicas[1]);
+  const auto result = store_.get(key);
+  ASSERT_EQ(result.records->size(), 1u);
+  EXPECT_EQ(result.node, replicas[2]);
+}
+
+TEST_F(ReplicatedStoreTest, LosingAllReplicasLosesData) {
+  const Id key = Id::hash("k3");
+  store_.put(key, make_record("gone"));
+  for (const Id& replica : ring_.replica_set(key, 3)) store_.drop_node(replica);
+  EXPECT_TRUE(store_.get(key).records->empty());
+}
+
+TEST_F(ReplicatedStoreTest, RemoveClearsAllReplicas) {
+  const Id key = Id::hash("k4");
+  store_.put(key, make_record("v"));
+  EXPECT_TRUE(store_.remove(key, make_record("v")).removed);
+  EXPECT_EQ(store_.total_records(), 0u);
+}
+
+TEST_F(ReplicatedStoreTest, ReplicationCostsProportionalTraffic) {
+  ledger_.reset();
+  store_.put(Id::hash("k5"), make_record("v"));
+  EXPECT_EQ(ledger_.queries.messages(), 3u);
+}
+
+TEST_F(ReplicatedStoreTest, RebalanceKeepsReplicaPlacementsAndDedupes) {
+  const Id key = Id::hash("k6");
+  store_.put(key, make_record("v"));
+  // Membership change: new nodes take over part of the circle.
+  for (int i = 0; i < 6; ++i) ring_.add(Id::hash("fresh-" + std::to_string(i)));
+  store_.rebalance();
+  // Every remaining copy sits inside the (new) replica set, and the primary
+  // holds exactly one copy (no duplicates).
+  const auto replicas = ring_.replica_set(key, 3);
+  std::size_t copies = 0;
+  for (const auto& [node, node_store] : store_.node_stores()) {
+    const auto& records = node_store.get(key);
+    copies += records.size();
+    if (!records.empty()) {
+      EXPECT_NE(std::find(replicas.begin(), replicas.end(), node), replicas.end())
+          << node.brief();
+    }
+  }
+  EXPECT_GE(copies, 1u);
+  EXPECT_LE(copies, 3u);
+  const auto result = store_.get(key);
+  EXPECT_EQ(result.records->size(), 1u);
+}
+
+TEST_F(ReplicatedStoreTest, RebalanceRepairsDegradedReplication) {
+  // Losing a replica's disk leaves records one copy short; rebalance()
+  // re-creates the missing copies at the key's full replica set.
+  const Id key = Id::hash("repairable");
+  store_.put(key, make_record("v"));
+  const auto replicas = ring_.replica_set(key, 3);
+  store_.drop_node(replicas[1]);
+  std::size_t copies = 0;
+  for (const auto& [node, ns] : store_.node_stores()) copies += ns.get(key).size();
+  EXPECT_EQ(copies, 2u);
+  EXPECT_GT(store_.rebalance(), 0u);
+  copies = 0;
+  for (const auto& [node, ns] : store_.node_stores()) copies += ns.get(key).size();
+  EXPECT_EQ(copies, 3u);
+  for (const Id& replica : replicas) {
+    EXPECT_EQ(store_.node_store(replica).get(key).size(), 1u) << replica.brief();
+  }
+  // Idempotent.
+  EXPECT_EQ(store_.rebalance(), 0u);
+}
+
+TEST(ReplicatedStoreDefault, FactorOneBehavesAsBefore) {
+  dht::Ring ring = dht::Ring::with_nodes(8);
+  net::TrafficLedger ledger;
+  DhtStore store{ring, ledger};
+  EXPECT_EQ(store.replication(), 1u);
+  const Id key = Id::hash("k");
+  store.put(key, make_record("v"));
+  EXPECT_EQ(store.total_records(), 1u);
+}
+
+}  // namespace
+}  // namespace dhtidx::storage

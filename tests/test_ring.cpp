@@ -1,0 +1,122 @@
+#include "dht/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dhtidx::dht {
+namespace {
+
+TEST(Ring, EmptyRingThrows) {
+  Ring ring;
+  EXPECT_THROW(ring.successor(Id::hash("x")), NotFoundError);
+  EXPECT_THROW(ring.lookup(Id::hash("x")), NotFoundError);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(Ring, SingleNodeOwnsEverything) {
+  Ring ring;
+  const Id node = Id::hash("only");
+  ring.add(node);
+  EXPECT_EQ(ring.successor(Id::hash("a")), node);
+  EXPECT_EQ(ring.successor(node), node);
+  EXPECT_EQ(ring.successor(Id{}), node);
+}
+
+TEST(Ring, SuccessorIsClockwiseOwner) {
+  Ring ring;
+  const Id n10 = Id::from_uint64(10);
+  const Id n20 = Id::from_uint64(20);
+  const Id n30 = Id::from_uint64(30);
+  ring.add(n20);
+  ring.add(n10);
+  ring.add(n30);
+  EXPECT_EQ(ring.successor(Id::from_uint64(5)), n10);
+  EXPECT_EQ(ring.successor(Id::from_uint64(10)), n10);  // exact hit: that node
+  EXPECT_EQ(ring.successor(Id::from_uint64(11)), n20);
+  EXPECT_EQ(ring.successor(Id::from_uint64(25)), n30);
+  // Past the last node wraps to the first.
+  EXPECT_EQ(ring.successor(Id::from_uint64(31)), n10);
+}
+
+TEST(Ring, AddIsIdempotent) {
+  Ring ring;
+  const Id node = Id::hash("n");
+  EXPECT_TRUE(ring.add(node));
+  EXPECT_FALSE(ring.add(node));
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(Ring, RemoveShiftsResponsibility) {
+  Ring ring;
+  const Id n10 = Id::from_uint64(10);
+  const Id n20 = Id::from_uint64(20);
+  ring.add(n10);
+  ring.add(n20);
+  EXPECT_EQ(ring.successor(Id::from_uint64(5)), n10);
+  EXPECT_TRUE(ring.remove(n10));
+  EXPECT_EQ(ring.successor(Id::from_uint64(5)), n20);
+  EXPECT_FALSE(ring.remove(n10));
+}
+
+TEST(Ring, ContainsTracksMembership) {
+  Ring ring;
+  const Id node = Id::hash("m");
+  EXPECT_FALSE(ring.contains(node));
+  ring.add(node);
+  EXPECT_TRUE(ring.contains(node));
+}
+
+TEST(Ring, WithNodesCreatesDistinctNodes) {
+  const Ring ring = Ring::with_nodes(500);
+  EXPECT_EQ(ring.size(), 500u);
+  auto ids = ring.node_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Ring, LookupReportsZeroHops) {
+  Ring ring = Ring::with_nodes(10);
+  const LookupResult result = ring.lookup(Id::hash("some-key"));
+  EXPECT_EQ(result.hops, 0);
+  EXPECT_TRUE(ring.contains(result.node));
+}
+
+TEST(Ring, KeysDistributeAcrossNodes) {
+  Ring ring = Ring::with_nodes(50);
+  std::set<Id> owners;
+  for (int i = 0; i < 2000; ++i) {
+    owners.insert(ring.successor(Id::hash("key-" + std::to_string(i))));
+  }
+  // With 2000 uniform keys over 50 nodes, nearly every node owns something.
+  EXPECT_GT(owners.size(), 45u);
+}
+
+class RingOracleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingOracleTest, SuccessorMatchesLinearScan) {
+  Ring ring = Ring::with_nodes(GetParam());
+  const auto nodes = ring.node_ids();
+  for (int i = 0; i < 200; ++i) {
+    const Id key = Id::hash("probe-" + std::to_string(i));
+    // Oracle: smallest node >= key, else smallest node overall.
+    Id expected = *std::min_element(nodes.begin(), nodes.end());
+    Id best = expected;
+    bool found = false;
+    for (const Id& n : nodes) {
+      if (n >= key && (!found || n < best)) {
+        best = n;
+        found = true;
+      }
+    }
+    if (found) expected = best;
+    EXPECT_EQ(ring.successor(key), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingOracleTest, ::testing::Values(1, 2, 3, 7, 64, 500));
+
+}  // namespace
+}  // namespace dhtidx::dht

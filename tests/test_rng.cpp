@@ -1,0 +1,140 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace dhtidx {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng{7};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInCoversInclusiveRange) {
+  Rng rng{11};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_in(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{13};
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+  Rng rng{17};
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.next_bool(0.3)) ++trues;
+  }
+  EXPECT_NEAR(trues / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng{19};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, UniformityRoughChiSquare) {
+  Rng rng{23};
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_index(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 9 degrees of freedom; 27.9 is the 99.9th percentile.
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{29};
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<std::size_t>(i)] = i;
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ShuffleHandlesSmallInputs) {
+  Rng rng{31};
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{37};
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+class RngBoundSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweepTest, AllValuesBelowBoundReachable) {
+  const std::uint64_t bound = GetParam();
+  Rng rng{41};
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < bound * 100; ++i) seen.insert(rng.next_below(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweepTest, ::testing::Values(2, 3, 5, 8, 16, 31));
+
+}  // namespace
+}  // namespace dhtidx

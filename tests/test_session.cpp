@@ -1,0 +1,138 @@
+// Interactive lookup sessions (Section IV-B's interactive mode).
+#include "index/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dht/ring.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+#include "xml/parser.hpp"
+
+namespace dhtidx::index {
+namespace {
+
+using query::Query;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d1_ = xml::parse(
+        "<article><author><first>John</first><last>Smith</last></author>"
+        "<title>TCP</title><conf>SIGCOMM</conf><year>1989</year>"
+        "<size>315635</size></article>");
+    d2_ = xml::parse(
+        "<article><author><first>John</first><last>Smith</last></author>"
+        "<title>IPv6</title><conf>INFOCOM</conf><year>1996</year>"
+        "<size>312352</size></article>");
+    builder_.index_file(d1_, "x.pdf", 315635);
+    builder_.index_file(d2_, "y.pdf", 312352);
+  }
+
+  dht::Ring ring_ = dht::Ring::with_nodes(10);
+  net::TrafficLedger ledger_;
+  storage::DhtStore store_{ring_, ledger_};
+  IndexService service_{ring_, ledger_};
+  IndexBuilder builder_{service_, store_, IndexingScheme::figure4()};
+  InteractiveSession session_{service_, store_};
+  xml::Element d1_, d2_;
+};
+
+TEST_F(SessionTest, WalksTheChainStepByStep) {
+  // Smith -> John/Smith -> two articles -> pick TCP -> MSD -> file.
+  session_.start(Query::parse("/article/author/last/Smith"));
+  ASSERT_EQ(session_.options().size(), 1u);  // the Last-name index entry
+  EXPECT_FALSE(session_.at_file());
+
+  session_.choose(0);  // John/Smith
+  ASSERT_EQ(session_.options().size(), 2u);  // both Smith articles
+
+  // The user recognizes the TCP article among the options.
+  std::size_t tcp = 0;
+  for (std::size_t i = 0; i < session_.options().size(); ++i) {
+    if (session_.options()[i].canonical().find("TCP") != std::string::npos) tcp = i;
+  }
+  session_.choose(tcp);
+  ASSERT_EQ(session_.options().size(), 1u);  // the MSD
+  session_.choose(0);
+  EXPECT_TRUE(session_.at_file());
+  ASSERT_EQ(session_.fetch().size(), 1u);
+  EXPECT_EQ(session_.fetch()[0].kind, "file:x.pdf");
+  EXPECT_EQ(session_.interactions(), 4);
+  EXPECT_EQ(session_.trail().size(), 4u);
+}
+
+TEST_F(SessionTest, RefineNarrowsTheQuery) {
+  // Start broad at the author, then restrict by conference: the refined
+  // query (author+conf) is not indexed, so the session reports a dead end
+  // the user can back out of.
+  session_.start(Query::parse("/article/author[first/John][last/Smith]"));
+  EXPECT_EQ(session_.options().size(), 2u);
+  session_.refine("conf", "INFOCOM");
+  EXPECT_TRUE(session_.options().empty());
+  EXPECT_FALSE(session_.at_file());
+  session_.back();
+  EXPECT_EQ(session_.options().size(), 2u);
+  EXPECT_EQ(session_.current(), Query::parse("/article/author[first/John][last/Smith]"));
+}
+
+TEST_F(SessionTest, BackAtStartIsNoOp) {
+  session_.start(Query::parse("/article/title/TCP"));
+  const Query q = session_.current();
+  session_.back();
+  EXPECT_EQ(session_.current(), q);
+}
+
+TEST_F(SessionTest, DeadEndQueryHasNoOptionsAndNoFile) {
+  session_.start(Query::parse("/article/title/Nonexistent"));
+  EXPECT_TRUE(session_.options().empty());
+  EXPECT_FALSE(session_.at_file());
+  EXPECT_THROW(session_.fetch(), InvariantError);
+}
+
+TEST_F(SessionTest, ChooseOutOfRangeThrows) {
+  session_.start(Query::parse("/article/title/TCP"));
+  EXPECT_THROW(session_.choose(99), InvariantError);
+}
+
+TEST_F(SessionTest, UnstartedSessionThrows) {
+  InteractiveSession fresh{service_, store_};
+  EXPECT_THROW(fresh.current(), InvariantError);
+}
+
+TEST_F(SessionTest, RestartResetsState) {
+  session_.start(Query::parse("/article/author/last/Smith"));
+  session_.choose(0);
+  EXPECT_EQ(session_.interactions(), 2);
+  session_.start(Query::parse("/article/title/TCP"));
+  EXPECT_EQ(session_.interactions(), 1);
+  EXPECT_EQ(session_.trail().size(), 1u);
+}
+
+TEST_F(SessionTest, InteractionsMatchResolveAccounting) {
+  // The directed engine and an optimally-playing interactive user spend the
+  // same number of interactions.
+  LookupEngine engine{service_, store_, {CachePolicy::kNone}};
+  const Query q6 = Query::parse("/article/author/last/Smith");
+  const Query target = Query::most_specific(d2_);
+  const auto outcome = engine.resolve(q6, target);
+
+  session_.start(q6);
+  while (!session_.at_file()) {
+    std::size_t next = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < session_.options().size(); ++i) {
+      if (session_.options()[i].covers(target) || session_.options()[i] == target) {
+        next = i;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+    session_.choose(next);
+  }
+  EXPECT_EQ(session_.interactions(), outcome.interactions);
+}
+
+}  // namespace
+}  // namespace dhtidx::index

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "dht/ring.hpp"
+#include "storage/dht_store.hpp"
+#include "storage/node_store.hpp"
+
+namespace dhtidx::storage {
+namespace {
+
+Record make_record(const std::string& payload) {
+  Record r;
+  r.kind = "test";
+  r.payload = payload;
+  return r;
+}
+
+TEST(NodeStore, MultipleEntriesPerKey) {
+  // Section IV: the storage system must "allow for the registration of
+  // multiple entries using the same key".
+  NodeStore store;
+  const Id key = Id::hash("shared");
+  store.put(key, make_record("one"));
+  store.put(key, make_record("two"));
+  EXPECT_EQ(store.get(key).size(), 2u);
+  EXPECT_EQ(store.record_count(), 2u);
+  EXPECT_EQ(store.key_count(), 1u);
+}
+
+TEST(NodeStore, DuplicateRecordsAllowed) {
+  NodeStore store;
+  const Id key = Id::hash("dups");
+  store.put(key, make_record("same"));
+  store.put(key, make_record("same"));
+  EXPECT_EQ(store.get(key).size(), 2u);
+}
+
+TEST(NodeStore, GetMissingKeyIsEmpty) {
+  NodeStore store;
+  EXPECT_TRUE(store.get(Id::hash("missing")).empty());
+  EXPECT_FALSE(store.contains(Id::hash("missing")));
+}
+
+TEST(NodeStore, RemoveSpecificRecord) {
+  NodeStore store;
+  const Id key = Id::hash("k");
+  store.put(key, make_record("a"));
+  store.put(key, make_record("b"));
+  EXPECT_TRUE(store.remove(key, make_record("a")));
+  EXPECT_FALSE(store.remove(key, make_record("a")));
+  ASSERT_EQ(store.get(key).size(), 1u);
+  EXPECT_EQ(store.get(key)[0].payload, "b");
+}
+
+TEST(NodeStore, RemovingLastRecordDropsKey) {
+  NodeStore store;
+  const Id key = Id::hash("k");
+  store.put(key, make_record("only"));
+  EXPECT_TRUE(store.remove(key, make_record("only")));
+  EXPECT_FALSE(store.contains(key));
+  EXPECT_EQ(store.key_count(), 0u);
+}
+
+TEST(NodeStore, ByteAccountingIncludesVirtualPayload) {
+  NodeStore store;
+  Record blob;
+  blob.kind = "file";
+  blob.payload = "descriptor";
+  blob.virtual_payload_bytes = 250000;
+  const std::uint64_t expected = blob.byte_size();
+  EXPECT_EQ(expected, 4u + 10u + 250000u);
+  const Id key = Id::hash("blob");
+  store.put(key, blob);
+  EXPECT_EQ(store.byte_size(), expected);
+  store.remove(key, blob);
+  EXPECT_EQ(store.byte_size(), 0u);
+}
+
+TEST(NodeStore, EraseRemovesAllRecordsOfKey) {
+  NodeStore store;
+  const Id key = Id::hash("k");
+  store.put(key, make_record("a"));
+  store.put(key, make_record("b"));
+  EXPECT_EQ(store.erase(key), 2u);
+  EXPECT_EQ(store.erase(key), 0u);
+  EXPECT_EQ(store.byte_size(), 0u);
+}
+
+TEST(NodeStore, TransferIfMovesMatchingKeys) {
+  NodeStore a, b;
+  const Id k1 = Id::hash("one");
+  const Id k2 = Id::hash("two");
+  a.put(k1, make_record("x"));
+  a.put(k2, make_record("y"));
+  const std::size_t moved = a.transfer_if(b, [&](const Id& k) { return k == k1; });
+  EXPECT_EQ(moved, 1u);
+  EXPECT_FALSE(a.contains(k1));
+  EXPECT_TRUE(a.contains(k2));
+  EXPECT_TRUE(b.contains(k1));
+}
+
+class DhtStoreTest : public ::testing::Test {
+ protected:
+  dht::Ring ring_ = dht::Ring::with_nodes(20);
+  net::TrafficLedger ledger_;
+  DhtStore store_{ring_, ledger_};
+};
+
+TEST_F(DhtStoreTest, PutRoutesToResponsibleNode) {
+  const Id key = Id::hash("routed");
+  const StoreResult result = store_.put(key, make_record("payload"));
+  EXPECT_EQ(result.node, ring_.successor(key));
+  EXPECT_EQ(store_.node_store(result.node).get(key).size(), 1u);
+}
+
+TEST_F(DhtStoreTest, GetFindsWhatPutStored) {
+  const Id key = Id::hash("gp");
+  store_.put(key, make_record("hello"));
+  const auto result = store_.get(key);
+  ASSERT_EQ(result.records->size(), 1u);
+  EXPECT_EQ((*result.records)[0].payload, "hello");
+}
+
+TEST_F(DhtStoreTest, RemoveDeletesMatchingRecord) {
+  const Id key = Id::hash("rm");
+  store_.put(key, make_record("gone"));
+  EXPECT_TRUE(store_.remove(key, make_record("gone")).removed);
+  EXPECT_TRUE(store_.get(key).records->empty());
+  EXPECT_FALSE(store_.remove(key, make_record("gone")).removed);
+}
+
+TEST_F(DhtStoreTest, TrafficIsAccounted) {
+  ledger_.reset();
+  const Id key = Id::hash("t");
+  store_.put(key, make_record("data"));
+  store_.get(key);
+  EXPECT_EQ(ledger_.queries.messages(), 2u);  // put + get request
+  EXPECT_EQ(ledger_.responses.messages(), 1u);
+  EXPECT_GT(ledger_.responses.bytes(), 0u);
+}
+
+TEST_F(DhtStoreTest, VirtualBlobBytesNotChargedToTraffic) {
+  Record blob = make_record("small-descriptor");
+  blob.virtual_payload_bytes = 250000;
+  const Id key = Id::hash("blob");
+  store_.put(key, blob);
+  ledger_.reset();
+  store_.get(key);
+  EXPECT_LT(ledger_.responses.bytes(), 1000u);
+}
+
+TEST_F(DhtStoreTest, TotalsAggregateAcrossNodes) {
+  for (int i = 0; i < 50; ++i) {
+    store_.put(Id::hash("k" + std::to_string(i)), make_record("v" + std::to_string(i)));
+  }
+  EXPECT_EQ(store_.total_records(), 50u);
+  EXPECT_GT(store_.total_bytes(), 0u);
+}
+
+TEST_F(DhtStoreTest, RebalanceAfterMembershipChange) {
+  for (int i = 0; i < 100; ++i) {
+    store_.put(Id::hash("k" + std::to_string(i)), make_record("v"));
+  }
+  // Add nodes: some keys become misplaced.
+  for (int i = 0; i < 10; ++i) ring_.add(Id::hash("new-node-" + std::to_string(i)));
+  const std::size_t moved = store_.rebalance();
+  EXPECT_GT(moved, 0u);
+  // Every key must now be on its responsible node.
+  for (int i = 0; i < 100; ++i) {
+    const Id key = Id::hash("k" + std::to_string(i));
+    EXPECT_EQ(store_.get(key).records->size(), 1u);
+    EXPECT_EQ(store_.get(key).node, ring_.successor(key));
+  }
+  // A second rebalance is a no-op.
+  EXPECT_EQ(store_.rebalance(), 0u);
+}
+
+}  // namespace
+}  // namespace dhtidx::storage

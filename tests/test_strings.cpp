@@ -1,0 +1,63 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dhtidx {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(split("a/b/c", '/'), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a//c", '/'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("/a/", '/'), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(Split, EmptyStringYieldsOneEmptyField) {
+  EXPECT_EQ(split("", '/'), std::vector<std::string>{""});
+}
+
+TEST(Split, NoSeparator) {
+  EXPECT_EQ(split("abc", '/'), std::vector<std::string>{"abc"});
+}
+
+TEST(Join, RoundTripsSplit) {
+  const std::string text = "author/last/Smith";
+  EXPECT_EQ(join(split(text, '/'), "/"), text);
+}
+
+TEST(Join, EmptyParts) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"x"}, ", "), "x");
+  EXPECT_EQ(join({"x", "y"}, ", "), "x, y");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(trim(" \t\r\n"), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, PreservesInteriorWhitespace) {
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(to_lower("John SMITH"), "john smith");
+  EXPECT_EQ(to_lower("123-abc"), "123-abc");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("/article", "/"));
+  EXPECT_TRUE(starts_with("abc", "abc"));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+}  // namespace
+}  // namespace dhtidx

@@ -1,0 +1,130 @@
+// INS/Twine-style baseline behaviour (Section II related work).
+#include "index/twine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "biblio/corpus.hpp"
+#include "dht/ring.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+
+namespace dhtidx::index {
+namespace {
+
+using query::Query;
+
+biblio::Article sample() {
+  biblio::Article a;
+  a.id = 0;
+  a.first_name = "John";
+  a.last_name = "Smith";
+  a.title = "TCP";
+  a.conference = "SIGCOMM";
+  a.year = 1989;
+  a.file_bytes = 315635;
+  return a;
+}
+
+TEST(TwineStrands, CoverTheQueriedFieldCombinations) {
+  const auto strands = TwineIndexer::strands(sample().msd());
+  const biblio::Article a = sample();
+  std::vector<Query> expected = {
+      a.author_query(),          a.conference_query(),      a.title_query(),
+      a.year_query(),            a.author_title_query(),    a.conference_year_query(),
+      a.author_year_query(),
+  };
+  EXPECT_EQ(strands.size(), expected.size());
+  for (const Query& e : expected) {
+    EXPECT_NE(std::find(strands.begin(), strands.end(), e), strands.end())
+        << e.canonical();
+  }
+  // Every strand covers the MSD (a strand is a partial description).
+  for (const Query& s : strands) {
+    EXPECT_TRUE(s.covers(sample().msd()));
+  }
+}
+
+TEST(TwineStrands, SkipAbsentAndAdministrativeFields) {
+  xml::Element doc{"article"};
+  doc.add_child("title", "Only Title");
+  doc.add_child("size", "123");
+  const auto strands = TwineIndexer::strands(Query::most_specific(doc));
+  ASSERT_EQ(strands.size(), 1u);
+  EXPECT_EQ(strands[0].canonical().find("size"), std::string::npos);
+}
+
+class TwineWorld : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    biblio::CorpusConfig config;
+    config.articles = 60;
+    config.authors = 20;
+    config.conferences = 6;
+    corpus_.emplace(biblio::Corpus::generate(config));
+    for (const auto& a : corpus_->articles()) {
+      twine_.publish(a.descriptor(), a.file_name(), a.file_bytes);
+    }
+  }
+
+  dht::Ring ring_ = dht::Ring::with_nodes(20);
+  net::TrafficLedger ledger_;
+  storage::DhtStore store_{ring_, ledger_};
+  TwineIndexer twine_{store_};
+  std::optional<biblio::Corpus> corpus_;
+};
+
+TEST_F(TwineWorld, SingleRoundResolution) {
+  const auto& a = corpus_->article(0);
+  const auto resolution = twine_.resolve(a.author_query());
+  EXPECT_EQ(resolution.interactions, 1);
+  const auto works = corpus_->by_author(a.first_name, a.last_name);
+  EXPECT_EQ(resolution.results.size(), works.size());
+  EXPECT_NE(std::find(resolution.results.begin(), resolution.results.end(), a.msd()),
+            resolution.results.end());
+}
+
+TEST_F(TwineWorld, ResolvesEveryQueriedCombination) {
+  const auto& a = corpus_->article(3);
+  for (const Query& q : {a.author_query(), a.title_query(), a.year_query(),
+                         a.author_title_query(), a.author_year_query(),
+                         a.conference_year_query()}) {
+    const auto resolution = twine_.resolve(q);
+    EXPECT_NE(std::find(resolution.results.begin(), resolution.results.end(), a.msd()),
+              resolution.results.end())
+        << q.canonical();
+  }
+}
+
+TEST_F(TwineWorld, UnknownQueryResolvesEmpty) {
+  Query q{"article"};
+  q.add_field("author/last", "Nobody");
+  EXPECT_TRUE(twine_.resolve(q).results.empty());
+}
+
+TEST_F(TwineWorld, ReplicatesDescriptionsManyTimes) {
+  // 1 authoritative + 7 strand copies per article.
+  EXPECT_EQ(twine_.copies_stored(), corpus_->size() * 8);
+  EXPECT_EQ(store_.total_records(), corpus_->size() * 8);
+}
+
+TEST_F(TwineWorld, StorageExceedsKeyToKeyIndex) {
+  // Build the paper's simple index over the same corpus and compare the
+  // metadata bytes: Twine replicates whole descriptors, the paper stores
+  // compact query-to-query mappings.
+  dht::Ring ring2 = dht::Ring::with_nodes(20);
+  net::TrafficLedger ledger2;
+  storage::DhtStore store2{ring2, ledger2};
+  IndexService service2{ring2, ledger2};
+  IndexBuilder builder2{service2, store2, IndexingScheme::simple()};
+  for (const auto& a : corpus_->articles()) {
+    builder2.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+  }
+  // Twine metadata = everything except the single authoritative record set.
+  const std::uint64_t one_copy_bytes = store2.total_bytes();  // records once + index kept separately
+  const std::uint64_t twine_total = store_.total_bytes();
+  const std::uint64_t index_bytes = service2.totals().bytes;
+  EXPECT_GT(twine_total - one_copy_bytes, index_bytes);
+}
+
+}  // namespace
+}  // namespace dhtidx::index

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "biblio/corpus.hpp"
+#include "common/error.hpp"
+#include "workload/generator.hpp"
+#include "workload/popularity.hpp"
+#include "workload/structure.hpp"
+
+namespace dhtidx::workload {
+namespace {
+
+TEST(StructureModel, PaperDefaults) {
+  const StructureModel model;
+  EXPECT_NEAR(model.probability(QueryStructure::kAuthor), 0.60, 1e-12);
+  EXPECT_NEAR(model.probability(QueryStructure::kTitle), 0.20, 1e-12);
+  EXPECT_NEAR(model.probability(QueryStructure::kYear), 0.10, 1e-12);
+  EXPECT_NEAR(model.probability(QueryStructure::kAuthorTitle), 0.05, 1e-12);
+  EXPECT_NEAR(model.probability(QueryStructure::kAuthorYear), 0.05, 1e-12);
+}
+
+TEST(StructureModel, SamplingConvergesToWeights) {
+  const StructureModel model;
+  Rng rng{4};
+  std::map<QueryStructure, int> counts;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++counts[model.sample(rng)];
+  EXPECT_NEAR(counts[QueryStructure::kAuthor] / static_cast<double>(kN), 0.60, 0.01);
+  EXPECT_NEAR(counts[QueryStructure::kAuthorYear] / static_cast<double>(kN), 0.05, 0.005);
+}
+
+TEST(StructureModel, CustomWeightsValidated) {
+  EXPECT_THROW(StructureModel({0.5, 0.5}), InvariantError);
+  const StructureModel custom{{1.0, 0.0, 0.0, 0.0, 0.0}};
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(custom.sample(rng), QueryStructure::kAuthor);
+  }
+}
+
+TEST(BuildQuery, FieldsMatchStructure) {
+  biblio::Article a;
+  a.first_name = "John";
+  a.last_name = "Smith";
+  a.title = "TCP";
+  a.conference = "SIGCOMM";
+  a.year = 1989;
+  EXPECT_EQ(build_query(a, QueryStructure::kAuthor).constraints().size(), 2u);
+  EXPECT_EQ(build_query(a, QueryStructure::kTitle).constraints().size(), 1u);
+  EXPECT_EQ(build_query(a, QueryStructure::kYear).constraints().size(), 1u);
+  EXPECT_EQ(build_query(a, QueryStructure::kAuthorTitle).constraints().size(), 3u);
+  EXPECT_EQ(build_query(a, QueryStructure::kAuthorYear).constraints().size(), 3u);
+  for (const QueryStructure s : kAllStructures) {
+    EXPECT_TRUE(build_query(a, s).matches(a.descriptor())) << to_string(s);
+  }
+}
+
+TEST(BibFinderTypes, MatchFigure7) {
+  const auto& types = bibfinder_query_types();
+  ASSERT_FALSE(types.empty());
+  EXPECT_EQ(types[0].fields, "/author");
+  EXPECT_NEAR(types[0].fraction, 0.57, 1e-9);
+  double total = 0.0;
+  for (const auto& t : types) total += t.fraction;
+  EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST(PopularityCurve, FromCountsSortsAndNormalizes) {
+  const PopularityCurve curve = curve_from_counts({5, 20, 0, 75});
+  ASSERT_EQ(curve.probabilities_by_rank.size(), 3u);  // zero dropped
+  EXPECT_DOUBLE_EQ(curve.probabilities_by_rank[0], 0.75);
+  EXPECT_DOUBLE_EQ(curve.probabilities_by_rank[1], 0.20);
+  EXPECT_DOUBLE_EQ(curve.probabilities_by_rank[2], 0.05);
+}
+
+TEST(PopularityCurve, EmptyCountsGiveEmptyCurve) {
+  EXPECT_TRUE(curve_from_counts({}).probabilities_by_rank.empty());
+  EXPECT_TRUE(curve_from_counts({0, 0}).probabilities_by_rank.empty());
+}
+
+TEST(PopularityCurve, ObservedModelFitsPowerLaw) {
+  // Figure 9's observation: popularity curves are straight in log-log.
+  const PopularityModel model{2000};
+  Rng rng{12};
+  const PopularityCurve curve = observe_model(model, 200000, rng);
+  const PowerLawFit fit = curve.fit();
+  EXPECT_LT(fit.exponent, 0.0);
+  EXPECT_GT(fit.r_squared, 0.8);
+}
+
+TEST(QueryGenerator, DeterministicForSeed) {
+  biblio::CorpusConfig config;
+  config.articles = 200;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+  QueryGenerator a{corpus, 5};
+  QueryGenerator b{corpus, 5};
+  for (int i = 0; i < 50; ++i) {
+    const Request ra = a.next();
+    const Request rb = b.next();
+    EXPECT_EQ(ra.article_index, rb.article_index);
+    EXPECT_EQ(ra.structure, rb.structure);
+    EXPECT_EQ(ra.query, rb.query);
+  }
+}
+
+TEST(QueryGenerator, QueryAlwaysMatchesChosenArticle) {
+  biblio::CorpusConfig config;
+  config.articles = 300;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+  QueryGenerator gen{corpus, 9};
+  for (int i = 0; i < 500; ++i) {
+    const Request r = gen.next();
+    const biblio::Article& a = corpus.article(r.article_index);
+    EXPECT_TRUE(r.query.matches(a.descriptor()));
+    EXPECT_TRUE(r.query.covers(a.msd()));
+  }
+}
+
+TEST(QueryGenerator, PopularArticlesDominateRequests) {
+  biblio::CorpusConfig config;
+  config.articles = 1000;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+  QueryGenerator gen{corpus, 31};
+  std::vector<int> counts(corpus.size(), 0);
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) ++counts[gen.next().article_index];
+  // Rank 1 should get ~ F(1) of requests; with c=0.063 that's about 7%
+  // (normalized for the 1000-article population).
+  EXPECT_GT(counts[0] / static_cast<double>(kN), 0.04);
+  // The top decile absorbs the majority of requests.
+  int head = 0;
+  for (int i = 0; i < 100; ++i) head += counts[i];
+  EXPECT_GT(head / static_cast<double>(kN), 0.25);
+}
+
+TEST(QueryGenerator, StructureMixMatchesModel) {
+  biblio::CorpusConfig config;
+  config.articles = 100;
+  const biblio::Corpus corpus = biblio::Corpus::generate(config);
+  QueryGenerator gen{corpus, 77};
+  std::map<QueryStructure, int> counts;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) ++counts[gen.next().structure];
+  EXPECT_NEAR(counts[QueryStructure::kAuthor] / static_cast<double>(kN), 0.60, 0.02);
+  EXPECT_NEAR(counts[QueryStructure::kTitle] / static_cast<double>(kN), 0.20, 0.02);
+}
+
+}  // namespace
+}  // namespace dhtidx::workload
