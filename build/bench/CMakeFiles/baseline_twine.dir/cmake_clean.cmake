@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_twine.dir/baseline_twine.cpp.o"
+  "CMakeFiles/baseline_twine.dir/baseline_twine.cpp.o.d"
+  "baseline_twine"
+  "baseline_twine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_twine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

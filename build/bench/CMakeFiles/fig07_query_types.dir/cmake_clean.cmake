@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_query_types.dir/fig07_query_types.cpp.o"
+  "CMakeFiles/fig07_query_types.dir/fig07_query_types.cpp.o.d"
+  "fig07_query_types"
+  "fig07_query_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_query_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_popularity.dir/fig09_popularity.cpp.o"
+  "CMakeFiles/fig09_popularity.dir/fig09_popularity.cpp.o.d"
+  "fig09_popularity"
+  "fig09_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

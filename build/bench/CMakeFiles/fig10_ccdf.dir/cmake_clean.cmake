@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ccdf.dir/fig10_ccdf.cpp.o"
+  "CMakeFiles/fig10_ccdf.dir/fig10_ccdf.cpp.o.d"
+  "fig10_ccdf"
+  "fig10_ccdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_interactions.dir/fig11_interactions.cpp.o"
+  "CMakeFiles/fig11_interactions.dir/fig11_interactions.cpp.o.d"
+  "fig11_interactions"
+  "fig11_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

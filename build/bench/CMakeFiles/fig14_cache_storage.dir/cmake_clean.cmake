@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cache_storage.dir/fig14_cache_storage.cpp.o"
+  "CMakeFiles/fig14_cache_storage.dir/fig14_cache_storage.cpp.o.d"
+  "fig14_cache_storage"
+  "fig14_cache_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cache_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_hotspots.dir/fig15_hotspots.cpp.o"
+  "CMakeFiles/fig15_hotspots.dir/fig15_hotspots.cpp.o.d"
+  "fig15_hotspots"
+  "fig15_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_cost.dir/storage_cost.cpp.o"
+  "CMakeFiles/storage_cost.dir/storage_cost.cpp.o.d"
+  "storage_cost"
+  "storage_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

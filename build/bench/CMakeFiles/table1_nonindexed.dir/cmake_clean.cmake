@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_nonindexed.dir/table1_nonindexed.cpp.o"
+  "CMakeFiles/table1_nonindexed.dir/table1_nonindexed.cpp.o.d"
+  "table1_nonindexed"
+  "table1_nonindexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_nonindexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biblio_search.dir/biblio_search.cpp.o"
+  "CMakeFiles/biblio_search.dir/biblio_search.cpp.o.d"
+  "biblio_search"
+  "biblio_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biblio_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

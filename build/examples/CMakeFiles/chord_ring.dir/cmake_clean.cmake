@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_ring.dir/chord_ring.cpp.o"
+  "CMakeFiles/chord_ring.dir/chord_ring.cpp.o.d"
+  "chord_ring"
+  "chord_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_session.dir/churn_session.cpp.o"
+  "CMakeFiles/churn_session.dir/churn_session.cpp.o.d"
+  "churn_session"
+  "churn_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_ctl.dir/dhtidx_ctl.cpp.o"
+  "CMakeFiles/dhtidx_ctl.dir/dhtidx_ctl.cpp.o.d"
+  "dhtidx_ctl"
+  "dhtidx_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

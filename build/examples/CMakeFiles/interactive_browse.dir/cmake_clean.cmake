@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_browse.dir/interactive_browse.cpp.o"
+  "CMakeFiles/interactive_browse.dir/interactive_browse.cpp.o.d"
+  "interactive_browse"
+  "interactive_browse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_browse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/biblio/article.cpp" "src/biblio/CMakeFiles/dhtidx_biblio.dir/article.cpp.o" "gcc" "src/biblio/CMakeFiles/dhtidx_biblio.dir/article.cpp.o.d"
+  "/root/repo/src/biblio/corpus.cpp" "src/biblio/CMakeFiles/dhtidx_biblio.dir/corpus.cpp.o" "gcc" "src/biblio/CMakeFiles/dhtidx_biblio.dir/corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/dhtidx_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dhtidx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dhtidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

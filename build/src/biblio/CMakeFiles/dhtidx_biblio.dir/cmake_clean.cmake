@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_biblio.dir/article.cpp.o"
+  "CMakeFiles/dhtidx_biblio.dir/article.cpp.o.d"
+  "CMakeFiles/dhtidx_biblio.dir/corpus.cpp.o"
+  "CMakeFiles/dhtidx_biblio.dir/corpus.cpp.o.d"
+  "libdhtidx_biblio.a"
+  "libdhtidx_biblio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_biblio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_common.dir/bytes.cpp.o"
+  "CMakeFiles/dhtidx_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dhtidx_common.dir/distributions.cpp.o"
+  "CMakeFiles/dhtidx_common.dir/distributions.cpp.o.d"
+  "CMakeFiles/dhtidx_common.dir/fit.cpp.o"
+  "CMakeFiles/dhtidx_common.dir/fit.cpp.o.d"
+  "CMakeFiles/dhtidx_common.dir/id.cpp.o"
+  "CMakeFiles/dhtidx_common.dir/id.cpp.o.d"
+  "CMakeFiles/dhtidx_common.dir/rng.cpp.o"
+  "CMakeFiles/dhtidx_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dhtidx_common.dir/sha1.cpp.o"
+  "CMakeFiles/dhtidx_common.dir/sha1.cpp.o.d"
+  "CMakeFiles/dhtidx_common.dir/strings.cpp.o"
+  "CMakeFiles/dhtidx_common.dir/strings.cpp.o.d"
+  "libdhtidx_common.a"
+  "libdhtidx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

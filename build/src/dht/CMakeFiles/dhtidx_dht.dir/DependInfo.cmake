@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/can.cpp" "src/dht/CMakeFiles/dhtidx_dht.dir/can.cpp.o" "gcc" "src/dht/CMakeFiles/dhtidx_dht.dir/can.cpp.o.d"
+  "/root/repo/src/dht/chord.cpp" "src/dht/CMakeFiles/dhtidx_dht.dir/chord.cpp.o" "gcc" "src/dht/CMakeFiles/dhtidx_dht.dir/chord.cpp.o.d"
+  "/root/repo/src/dht/pastry.cpp" "src/dht/CMakeFiles/dhtidx_dht.dir/pastry.cpp.o" "gcc" "src/dht/CMakeFiles/dhtidx_dht.dir/pastry.cpp.o.d"
+  "/root/repo/src/dht/ring.cpp" "src/dht/CMakeFiles/dhtidx_dht.dir/ring.cpp.o" "gcc" "src/dht/CMakeFiles/dhtidx_dht.dir/ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dhtidx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dhtidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

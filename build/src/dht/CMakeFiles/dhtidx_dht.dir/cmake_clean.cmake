@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_dht.dir/can.cpp.o"
+  "CMakeFiles/dhtidx_dht.dir/can.cpp.o.d"
+  "CMakeFiles/dhtidx_dht.dir/chord.cpp.o"
+  "CMakeFiles/dhtidx_dht.dir/chord.cpp.o.d"
+  "CMakeFiles/dhtidx_dht.dir/pastry.cpp.o"
+  "CMakeFiles/dhtidx_dht.dir/pastry.cpp.o.d"
+  "CMakeFiles/dhtidx_dht.dir/ring.cpp.o"
+  "CMakeFiles/dhtidx_dht.dir/ring.cpp.o.d"
+  "libdhtidx_dht.a"
+  "libdhtidx_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/builder.cpp" "src/index/CMakeFiles/dhtidx_index.dir/builder.cpp.o" "gcc" "src/index/CMakeFiles/dhtidx_index.dir/builder.cpp.o.d"
+  "/root/repo/src/index/cache.cpp" "src/index/CMakeFiles/dhtidx_index.dir/cache.cpp.o" "gcc" "src/index/CMakeFiles/dhtidx_index.dir/cache.cpp.o.d"
+  "/root/repo/src/index/fuzzy.cpp" "src/index/CMakeFiles/dhtidx_index.dir/fuzzy.cpp.o" "gcc" "src/index/CMakeFiles/dhtidx_index.dir/fuzzy.cpp.o.d"
+  "/root/repo/src/index/lookup.cpp" "src/index/CMakeFiles/dhtidx_index.dir/lookup.cpp.o" "gcc" "src/index/CMakeFiles/dhtidx_index.dir/lookup.cpp.o.d"
+  "/root/repo/src/index/node_state.cpp" "src/index/CMakeFiles/dhtidx_index.dir/node_state.cpp.o" "gcc" "src/index/CMakeFiles/dhtidx_index.dir/node_state.cpp.o.d"
+  "/root/repo/src/index/scheme.cpp" "src/index/CMakeFiles/dhtidx_index.dir/scheme.cpp.o" "gcc" "src/index/CMakeFiles/dhtidx_index.dir/scheme.cpp.o.d"
+  "/root/repo/src/index/service.cpp" "src/index/CMakeFiles/dhtidx_index.dir/service.cpp.o" "gcc" "src/index/CMakeFiles/dhtidx_index.dir/service.cpp.o.d"
+  "/root/repo/src/index/session.cpp" "src/index/CMakeFiles/dhtidx_index.dir/session.cpp.o" "gcc" "src/index/CMakeFiles/dhtidx_index.dir/session.cpp.o.d"
+  "/root/repo/src/index/twine.cpp" "src/index/CMakeFiles/dhtidx_index.dir/twine.cpp.o" "gcc" "src/index/CMakeFiles/dhtidx_index.dir/twine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/dhtidx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dhtidx_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/dhtidx_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dhtidx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dhtidx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dhtidx_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_index.dir/builder.cpp.o"
+  "CMakeFiles/dhtidx_index.dir/builder.cpp.o.d"
+  "CMakeFiles/dhtidx_index.dir/cache.cpp.o"
+  "CMakeFiles/dhtidx_index.dir/cache.cpp.o.d"
+  "CMakeFiles/dhtidx_index.dir/fuzzy.cpp.o"
+  "CMakeFiles/dhtidx_index.dir/fuzzy.cpp.o.d"
+  "CMakeFiles/dhtidx_index.dir/lookup.cpp.o"
+  "CMakeFiles/dhtidx_index.dir/lookup.cpp.o.d"
+  "CMakeFiles/dhtidx_index.dir/node_state.cpp.o"
+  "CMakeFiles/dhtidx_index.dir/node_state.cpp.o.d"
+  "CMakeFiles/dhtidx_index.dir/scheme.cpp.o"
+  "CMakeFiles/dhtidx_index.dir/scheme.cpp.o.d"
+  "CMakeFiles/dhtidx_index.dir/service.cpp.o"
+  "CMakeFiles/dhtidx_index.dir/service.cpp.o.d"
+  "CMakeFiles/dhtidx_index.dir/session.cpp.o"
+  "CMakeFiles/dhtidx_index.dir/session.cpp.o.d"
+  "CMakeFiles/dhtidx_index.dir/twine.cpp.o"
+  "CMakeFiles/dhtidx_index.dir/twine.cpp.o.d"
+  "libdhtidx_index.a"
+  "libdhtidx_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_net.dir/failure.cpp.o"
+  "CMakeFiles/dhtidx_net.dir/failure.cpp.o.d"
+  "CMakeFiles/dhtidx_net.dir/latency.cpp.o"
+  "CMakeFiles/dhtidx_net.dir/latency.cpp.o.d"
+  "CMakeFiles/dhtidx_net.dir/stats.cpp.o"
+  "CMakeFiles/dhtidx_net.dir/stats.cpp.o.d"
+  "libdhtidx_net.a"
+  "libdhtidx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

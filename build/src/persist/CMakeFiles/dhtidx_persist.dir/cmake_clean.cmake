@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_persist.dir/snapshot.cpp.o"
+  "CMakeFiles/dhtidx_persist.dir/snapshot.cpp.o.d"
+  "libdhtidx_persist.a"
+  "libdhtidx_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_query.dir/parser.cpp.o"
+  "CMakeFiles/dhtidx_query.dir/parser.cpp.o.d"
+  "CMakeFiles/dhtidx_query.dir/query.cpp.o"
+  "CMakeFiles/dhtidx_query.dir/query.cpp.o.d"
+  "libdhtidx_query.a"
+  "libdhtidx_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

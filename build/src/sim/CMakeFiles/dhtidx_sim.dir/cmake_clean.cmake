@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_sim.dir/metrics.cpp.o"
+  "CMakeFiles/dhtidx_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/dhtidx_sim.dir/simulation.cpp.o"
+  "CMakeFiles/dhtidx_sim.dir/simulation.cpp.o.d"
+  "libdhtidx_sim.a"
+  "libdhtidx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

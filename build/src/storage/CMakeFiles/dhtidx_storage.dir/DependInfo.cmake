@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dht_store.cpp" "src/storage/CMakeFiles/dhtidx_storage.dir/dht_store.cpp.o" "gcc" "src/storage/CMakeFiles/dhtidx_storage.dir/dht_store.cpp.o.d"
+  "/root/repo/src/storage/node_store.cpp" "src/storage/CMakeFiles/dhtidx_storage.dir/node_store.cpp.o" "gcc" "src/storage/CMakeFiles/dhtidx_storage.dir/node_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dht/CMakeFiles/dhtidx_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dhtidx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dhtidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

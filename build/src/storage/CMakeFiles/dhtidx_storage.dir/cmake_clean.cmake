@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_storage.dir/dht_store.cpp.o"
+  "CMakeFiles/dhtidx_storage.dir/dht_store.cpp.o.d"
+  "CMakeFiles/dhtidx_storage.dir/node_store.cpp.o"
+  "CMakeFiles/dhtidx_storage.dir/node_store.cpp.o.d"
+  "libdhtidx_storage.a"
+  "libdhtidx_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

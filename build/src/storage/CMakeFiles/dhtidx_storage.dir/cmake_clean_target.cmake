@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdhtidx_storage.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/dhtidx_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/dhtidx_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/popularity.cpp" "src/workload/CMakeFiles/dhtidx_workload.dir/popularity.cpp.o" "gcc" "src/workload/CMakeFiles/dhtidx_workload.dir/popularity.cpp.o.d"
+  "/root/repo/src/workload/structure.cpp" "src/workload/CMakeFiles/dhtidx_workload.dir/structure.cpp.o" "gcc" "src/workload/CMakeFiles/dhtidx_workload.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/biblio/CMakeFiles/dhtidx_biblio.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dhtidx_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dhtidx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dhtidx_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_workload.dir/generator.cpp.o"
+  "CMakeFiles/dhtidx_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/dhtidx_workload.dir/popularity.cpp.o"
+  "CMakeFiles/dhtidx_workload.dir/popularity.cpp.o.d"
+  "CMakeFiles/dhtidx_workload.dir/structure.cpp.o"
+  "CMakeFiles/dhtidx_workload.dir/structure.cpp.o.d"
+  "libdhtidx_workload.a"
+  "libdhtidx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

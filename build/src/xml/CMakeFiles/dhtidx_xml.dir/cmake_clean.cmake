@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhtidx_xml.dir/node.cpp.o"
+  "CMakeFiles/dhtidx_xml.dir/node.cpp.o.d"
+  "CMakeFiles/dhtidx_xml.dir/parser.cpp.o"
+  "CMakeFiles/dhtidx_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/dhtidx_xml.dir/writer.cpp.o"
+  "CMakeFiles/dhtidx_xml.dir/writer.cpp.o.d"
+  "libdhtidx_xml.a"
+  "libdhtidx_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhtidx_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

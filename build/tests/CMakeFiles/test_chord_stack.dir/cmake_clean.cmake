@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chord_stack.dir/test_chord_stack.cpp.o"
+  "CMakeFiles/test_chord_stack.dir/test_chord_stack.cpp.o.d"
+  "test_chord_stack"
+  "test_chord_stack.pdb"
+  "test_chord_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chord_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

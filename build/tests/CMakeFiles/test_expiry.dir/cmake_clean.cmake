@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expiry.dir/test_expiry.cpp.o"
+  "CMakeFiles/test_expiry.dir/test_expiry.cpp.o.d"
+  "test_expiry"
+  "test_expiry.pdb"
+  "test_expiry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expiry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figure5.dir/test_figure5.cpp.o"
+  "CMakeFiles/test_figure5.dir/test_figure5.cpp.o.d"
+  "test_figure5"
+  "test_figure5.pdb"
+  "test_figure5[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figure5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

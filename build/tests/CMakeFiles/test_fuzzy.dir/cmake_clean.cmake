@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzzy.dir/test_fuzzy.cpp.o"
+  "CMakeFiles/test_fuzzy.dir/test_fuzzy.cpp.o.d"
+  "test_fuzzy"
+  "test_fuzzy.pdb"
+  "test_fuzzy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_id.dir/test_id.cpp.o"
+  "CMakeFiles/test_id.dir/test_id.cpp.o.d"
+  "test_id"
+  "test_id.pdb"
+  "test_id[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

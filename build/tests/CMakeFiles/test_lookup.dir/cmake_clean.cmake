@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lookup.dir/test_lookup.cpp.o"
+  "CMakeFiles/test_lookup.dir/test_lookup.cpp.o.d"
+  "test_lookup"
+  "test_lookup.pdb"
+  "test_lookup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

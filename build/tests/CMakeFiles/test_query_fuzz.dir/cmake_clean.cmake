@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_fuzz.dir/test_query_fuzz.cpp.o"
+  "CMakeFiles/test_query_fuzz.dir/test_query_fuzz.cpp.o.d"
+  "test_query_fuzz"
+  "test_query_fuzz.pdb"
+  "test_query_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_match.dir/test_query_match.cpp.o"
+  "CMakeFiles/test_query_match.dir/test_query_match.cpp.o.d"
+  "test_query_match"
+  "test_query_match.pdb"
+  "test_query_match[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

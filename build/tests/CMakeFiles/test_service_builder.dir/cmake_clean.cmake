@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_builder.dir/test_service_builder.cpp.o"
+  "CMakeFiles/test_service_builder.dir/test_service_builder.cpp.o.d"
+  "test_service_builder"
+  "test_service_builder.pdb"
+  "test_service_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_session.cpp" "tests/CMakeFiles/test_session.dir/test_session.cpp.o" "gcc" "tests/CMakeFiles/test_session.dir/test_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dhtidx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dhtidx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/biblio/CMakeFiles/dhtidx_biblio.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/dhtidx_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dhtidx_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dhtidx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/dhtidx_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dhtidx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dhtidx_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/dhtidx_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dhtidx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

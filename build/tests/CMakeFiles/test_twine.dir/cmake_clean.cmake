@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twine.dir/test_twine.cpp.o"
+  "CMakeFiles/test_twine.dir/test_twine.cpp.o.d"
+  "test_twine"
+  "test_twine.pdb"
+  "test_twine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_twine.
+# This may be replaced when dependencies are built.
