@@ -94,7 +94,8 @@ Measurement measure(const index::IndexingScheme& scheme, const biblio::Corpus& c
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_options(argc, argv);
   banner("Ablation: index hierarchy depth (author path depth 1-4)");
   biblio::CorpusConfig corpus_config = paper_config().corpus;
   corpus_config.articles = 4000;
@@ -102,17 +103,32 @@ int main() {
   const biblio::Corpus corpus = biblio::Corpus::generate(corpus_config);
   constexpr std::size_t kQueries = 15000;
 
+  // These cells build custom schemes rather than SimulationConfigs, so they
+  // go through the sweep runner's generic worker pool: each measurement owns
+  // its whole world and only shares the read-only corpus.
+  struct Cell {
+    int depth;
+    bool shortcircuit;
+  };
+  const Cell plan[] = {{1, false}, {2, false}, {3, false}, {4, false},
+                       {3, false}, {3, true}};
+  std::vector<Measurement> measured(std::size(plan));
+  sim::parallel_for(options.jobs, std::size(plan), [&](std::size_t i) {
+    measured[i] = measure(depth_scheme(plan[i].depth), corpus, plan[i].shortcircuit,
+                          kQueries);
+  });
+
   std::printf("%-10s %13s %12s %12s\n", "depth", "interactions", "normal B/q",
               "index bytes");
   for (int depth = 1; depth <= 4; ++depth) {
-    const Measurement m = measure(depth_scheme(depth), corpus, false, kQueries);
+    const Measurement& m = measured[depth - 1];
     std::printf("%-10d %13.2f %12.0f %12llu\n", depth, m.interactions, m.normal_bytes,
                 static_cast<unsigned long long>(m.index_bytes));
   }
 
   banner("Short-circuit entries for popular content (Section IV-C)");
-  const Measurement plain = measure(depth_scheme(3), corpus, false, kQueries);
-  const Measurement boosted = measure(depth_scheme(3), corpus, true, kQueries);
+  const Measurement& plain = measured[4];
+  const Measurement& boosted = measured[5];
   std::printf("%-24s %13s %12s\n", "variant", "interactions", "normal B/q");
   std::printf("%-24s %13.2f %12.0f\n", "depth-3", plain.interactions, plain.normal_bytes);
   std::printf("%-24s %13.2f %12.0f\n", "depth-3 + shortcircuits", boosted.interactions,

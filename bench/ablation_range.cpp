@@ -15,7 +15,11 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // Common CLI only: every interval reuses one mutable index service and its
+  // shared ledger (resets between measurements), so the cells are inherently
+  // sequential and --jobs has nothing to parallelize here.
+  parse_options(argc, argv);
   banner("Ablation: year-interval queries (client-side range expansion)");
   biblio::CorpusConfig corpus_config = paper_config().corpus;
   corpus_config.articles = 5000;

@@ -14,7 +14,8 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_options(argc, argv);
   banner("Ablation: popularity skew vs. cache effectiveness (simple, single-cache)");
   sim::SimulationConfig base = paper_config();
   // Smaller run: this is a sensitivity sweep, not a headline figure.
@@ -36,8 +37,7 @@ int main() {
       {"alpha=0.95 (mild skew)", 0.95},
   };
 
-  std::printf("%-28s %10s %14s %14s %12s\n", "popularity", "hit ratio", "interactions",
-              "normal B/q", "errors");
+  std::vector<sim::SimulationConfig> cells;
   for (const Point& p : points) {
     sim::SimulationConfig config = base;
     config.scheme = index::SchemeKind::kSimple;
@@ -45,8 +45,15 @@ int main() {
     config.popularity_alpha = p.alpha;
     config.popularity_c =
         1.0 / std::pow(static_cast<double>(config.corpus.articles), p.alpha);
-    const sim::SimulationResults r = run_simulation(config, &corpus);
-    std::printf("%-28s %9.1f%% %14.2f %14.0f %12zu\n", p.label, 100.0 * r.hit_ratio,
+    cells.push_back(config);
+  }
+  const auto results = run_cells("ablation_skew", cells, &corpus, options);
+
+  std::printf("%-28s %10s %14s %14s %12s\n", "popularity", "hit ratio", "interactions",
+              "normal B/q", "errors");
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    const sim::SimulationResults& r = results[i].results;
+    std::printf("%-28s %9.1f%% %14.2f %14.0f %12zu\n", points[i].label, 100.0 * r.hit_ratio,
                 r.avg_interactions, r.normal_traffic_per_query, r.non_indexed_queries);
   }
   std::printf(

@@ -13,7 +13,8 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_options(argc, argv);
   banner("Ablation: Ring vs. Chord vs. CAN vs. Pastry (simple scheme, single-cache)");
   sim::SimulationConfig base = paper_config();
   // Chord at 500 nodes stabilizes slowly; the claim is scale-free, so use a
@@ -26,14 +27,27 @@ int main() {
   base.policy = index::CachePolicy::kSingle;
   const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
 
-  std::printf("%-10s %13s %10s %12s %10s %14s %14s\n", "substrate", "interactions",
-              "hit ratio", "normal B/q", "errors", "routing hops", "routing bytes");
-  for (const sim::Substrate substrate :
-       {sim::Substrate::kRing, sim::Substrate::kChord, sim::Substrate::kCan,
-        sim::Substrate::kPastry}) {
+  const sim::Substrate substrates[] = {sim::Substrate::kRing, sim::Substrate::kChord,
+                                       sim::Substrate::kCan, sim::Substrate::kPastry};
+  const std::size_t sizes[] = {50, 100, 250, 500, 1000};
+  std::vector<sim::SimulationConfig> cells;
+  for (const sim::Substrate substrate : substrates) {
     sim::SimulationConfig config = base;
     config.substrate = substrate;
-    const sim::SimulationResults r = run_simulation(config, &corpus);
+    cells.push_back(config);
+  }
+  for (const std::size_t nodes : sizes) {
+    sim::SimulationConfig config = base;
+    config.nodes = nodes;
+    cells.push_back(config);
+  }
+  const auto results = run_cells("ablation_substrate", cells, &corpus, options);
+
+  std::printf("%-10s %13s %10s %12s %10s %14s %14s\n", "substrate", "interactions",
+              "hit ratio", "normal B/q", "errors", "routing hops", "routing bytes");
+  std::size_t cell = 0;
+  for (const sim::Substrate substrate : substrates) {
+    const sim::SimulationResults& r = results[cell++].results;
     const char* name = substrate == sim::Substrate::kRing    ? "ring"
                        : substrate == sim::Substrate::kChord ? "chord"
                        : substrate == sim::Substrate::kCan   ? "can"
@@ -47,11 +61,9 @@ int main() {
   banner("Network-size sensitivity (ring substrate)");
   std::printf("%-10s %13s %10s %12s %10s\n", "nodes", "interactions", "hit ratio",
               "normal B/q", "errors");
-  for (const std::size_t nodes : {50u, 100u, 250u, 500u, 1000u}) {
-    sim::SimulationConfig config = base;
-    config.nodes = nodes;
-    const sim::SimulationResults r = run_simulation(config, &corpus);
-    std::printf("%-10zu %13.2f %9.1f%% %12.0f %10zu\n", static_cast<std::size_t>(nodes),
+  for (const std::size_t nodes : sizes) {
+    const sim::SimulationResults& r = results[cell++].results;
+    std::printf("%-10zu %13.2f %9.1f%% %12.0f %10zu\n", nodes,
                 r.avg_interactions, 100.0 * r.hit_ratio, r.normal_traffic_per_query,
                 r.non_indexed_queries);
   }

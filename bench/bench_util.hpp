@@ -7,12 +7,78 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "sim/simulation.hpp"
+#include "sim/sweep.hpp"
 
 namespace dhtidx::bench {
+
+/// Command-line options shared by every bench binary.
+struct BenchOptions {
+  std::size_t jobs = 0;  ///< worker threads for sweeps; 0 = hardware concurrency
+};
+
+/// Parses `--jobs N` / `--jobs=N` / `-j N` (and `--help`). Every bench
+/// accepts the flag; binaries without independent simulation cells simply
+/// ignore it. Exits on unknown arguments.
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--jobs N]\n"
+          "  --jobs N, -j N   worker threads for the experiment sweep\n"
+          "                   (default: hardware concurrency)\n",
+          argv[0]);
+      std::exit(0);
+    }
+    const auto parse_count = [&](const char* text) {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(text, &end, 10);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s: '%s' is not a job count\n", argv[0], text);
+        std::exit(2);
+      }
+      return static_cast<std::size_t>(value);
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s expects a count\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      options.jobs = parse_count(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = parse_count(arg.c_str() + 7);
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0], arg.c_str());
+    std::exit(2);
+  }
+  return options;
+}
+
+/// Submits the cells to the parallel sweep runner, prints the sweep timing
+/// plus the one-line JSON summary, and returns per-cell results in
+/// submission order (so tables print exactly as the sequential code did).
+inline std::vector<sim::CellResult> run_cells(const std::string& bench_name,
+                                              const std::vector<sim::SimulationConfig>& cells,
+                                              const biblio::Corpus* corpus,
+                                              const BenchOptions& options) {
+  sim::SweepOptions sweep_options;
+  sweep_options.jobs = options.jobs;
+  const sim::SweepRunner runner{sweep_options};
+  sim::SweepSummary sweep = runner.run(cells, corpus);
+  std::printf("[sweep] %s: %zu cells on %zu worker(s) in %.2fs\n", bench_name.c_str(),
+              sweep.cells.size(), sweep.jobs, sweep.wall_seconds);
+  std::printf("%s\n", sim::json_summary(bench_name, sweep).c_str());
+  return std::move(sweep.cells);
+}
 
 /// The evaluation setup of Section V-E.
 inline sim::SimulationConfig paper_config() {

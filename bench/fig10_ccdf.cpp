@@ -11,7 +11,9 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // Common CLI only: one sequential sampling stream, no cells to spread out.
+  parse_options(argc, argv);
   banner("Figure 10: CCDF of the article ranking");
   const workload::PopularityModel model{10000};
 

@@ -7,7 +7,8 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_options(argc, argv);
   banner("Figure 11: Average interactions per query (3 schemes x cache policies)");
   sim::SimulationConfig base = paper_config();
   const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
@@ -25,18 +26,27 @@ int main() {
       {"LRU 30 Keys", index::CachePolicy::kLru, 30},
   };
 
-  row("policy", {"simple", "flat", "complex"});
+  std::vector<sim::SimulationConfig> cells;
   for (const Policy& p : policies) {
-    std::vector<std::string> cells;
     for (const index::SchemeKind scheme :
          {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
       sim::SimulationConfig config = base;
       config.scheme = scheme;
       config.policy = p.policy;
       config.cache_capacity = p.capacity;
-      cells.push_back(fmt(run_simulation(config, &corpus).avg_interactions));
+      cells.push_back(config);
     }
-    row(p.label, cells);
+  }
+  const auto results = run_cells("fig11_interactions", cells, &corpus, options);
+
+  row("policy", {"simple", "flat", "complex"});
+  std::size_t cell = 0;
+  for (const Policy& p : policies) {
+    std::vector<std::string> values;
+    for (int s = 0; s < 3; ++s) {
+      values.push_back(fmt(results[cell++].results.avg_interactions));
+    }
+    row(p.label, values);
   }
   std::printf(
       "\nPaper reference (Figure 11): no-cache about S=3.4 F=2.4 C=3.6, caching\n"

@@ -8,7 +8,8 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_options(argc, argv);
   banner("Figure 12: Average network traffic (bytes) per query");
   sim::SimulationConfig base = paper_config();
   const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
@@ -27,8 +28,7 @@ int main() {
       {"LRU 30 Keys", index::CachePolicy::kLru, 30},
   };
 
-  std::printf("%-14s %-9s %12s %12s %12s\n", "policy", "scheme", "normal", "cache",
-              "total");
+  std::vector<sim::SimulationConfig> cells;
   for (const Policy& p : policies) {
     for (const index::SchemeKind scheme :
          {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
@@ -36,7 +36,18 @@ int main() {
       config.scheme = scheme;
       config.policy = p.policy;
       config.cache_capacity = p.capacity;
-      const sim::SimulationResults r = run_simulation(config, &corpus);
+      cells.push_back(config);
+    }
+  }
+  const auto results = run_cells("fig12_traffic", cells, &corpus, options);
+
+  std::printf("%-14s %-9s %12s %12s %12s\n", "policy", "scheme", "normal", "cache",
+              "total");
+  std::size_t cell = 0;
+  for (const Policy& p : policies) {
+    for (const index::SchemeKind scheme :
+         {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
+      const sim::SimulationResults& r = results[cell++].results;
       std::printf("%-14s %-9s %12.0f %12.0f %12.0f\n", p.label.c_str(),
                   index::to_string(scheme).c_str(), r.normal_traffic_per_query,
                   r.cache_traffic_per_query,

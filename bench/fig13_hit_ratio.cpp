@@ -8,7 +8,8 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_options(argc, argv);
   banner("Figure 13: Cache efficiency (distributed hit ratio)");
   sim::SimulationConfig base = paper_config();
   const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
@@ -26,8 +27,7 @@ int main() {
       {"LRU 30 Keys", index::CachePolicy::kLru, 30},
   };
 
-  std::printf("%-14s %-9s %12s %18s\n", "policy", "scheme", "hit ratio",
-              "hits @ first node");
+  std::vector<sim::SimulationConfig> cells;
   for (const Policy& p : policies) {
     for (const index::SchemeKind scheme :
          {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
@@ -35,7 +35,18 @@ int main() {
       config.scheme = scheme;
       config.policy = p.policy;
       config.cache_capacity = p.capacity;
-      const sim::SimulationResults r = run_simulation(config, &corpus);
+      cells.push_back(config);
+    }
+  }
+  const auto results = run_cells("fig13_hit_ratio", cells, &corpus, options);
+
+  std::printf("%-14s %-9s %12s %18s\n", "policy", "scheme", "hit ratio",
+              "hits @ first node");
+  std::size_t cell = 0;
+  for (const Policy& p : policies) {
+    for (const index::SchemeKind scheme :
+         {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
+      const sim::SimulationResults& r = results[cell++].results;
       std::printf("%-14s %-9s %11.1f%% %17.1f%%\n", p.label.c_str(),
                   index::to_string(scheme).c_str(), 100.0 * r.hit_ratio,
                   100.0 * r.first_node_hit_share);

@@ -8,7 +8,8 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_options(argc, argv);
   banner("Figure 15: Queries processed per node (simple scheme, ranked)");
   sim::SimulationConfig base = paper_config();
   const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
@@ -24,13 +25,19 @@ int main() {
       {"Single Cache", index::CachePolicy::kSingle, 0},
   };
 
-  std::vector<std::vector<double>> loads;
+  std::vector<sim::SimulationConfig> cells;
   for (const Policy& p : policies) {
     sim::SimulationConfig config = base;
     config.scheme = index::SchemeKind::kSimple;
     config.policy = p.policy;
     config.cache_capacity = p.capacity;
-    loads.push_back(run_simulation(config, &corpus).node_load_fractions);
+    cells.push_back(config);
+  }
+  const auto results = run_cells("fig15_hotspots", cells, &corpus, options);
+
+  std::vector<std::vector<double>> loads;
+  for (const sim::CellResult& cell : results) {
+    loads.push_back(cell.results.node_load_fractions);
   }
 
   std::printf("%-10s %14s %14s %14s\n", "node rank", "No Cache", "Cache LRU30",

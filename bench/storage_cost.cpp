@@ -16,7 +16,8 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_options(argc, argv);
   banner("Section V-B: Index storage requirements");
   const sim::SimulationConfig base = paper_config();
   const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
@@ -28,22 +29,25 @@ int main() {
     std::size_t keys;
     std::uint64_t data_bytes;
   };
-  std::vector<Result> results;
+  const index::SchemeKind kinds[] = {index::SchemeKind::kSimple, index::SchemeKind::kFlat,
+                                     index::SchemeKind::kComplex};
+  std::vector<Result> results(std::size(kinds));
 
-  for (const index::SchemeKind kind :
-       {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
+  // Index-construction cells: one independent build per scheme, sharing only
+  // the read-only corpus, so they run on the sweep runner's worker pool.
+  sim::parallel_for(options.jobs, std::size(kinds), [&](std::size_t i) {
     dht::Ring ring = dht::Ring::with_nodes(base.nodes);
     net::TrafficLedger ledger;
     storage::DhtStore store{ring, ledger};
     index::IndexService service{ring, ledger};
-    index::IndexBuilder builder{service, store, index::IndexingScheme::make(kind)};
+    index::IndexBuilder builder{service, store, index::IndexingScheme::make(kinds[i])};
     for (const auto& article : corpus.articles()) {
       builder.index_file(article.descriptor(), article.file_name(), article.file_bytes);
     }
     const auto totals = service.totals();
-    results.push_back({index::to_string(kind), totals.bytes, totals.mappings, totals.keys,
-                       store.total_bytes()});
-  }
+    results[i] = {index::to_string(kinds[i]), totals.bytes, totals.mappings, totals.keys,
+                  store.total_bytes()};
+  });
 
   const double simple_bytes = static_cast<double>(results[0].index_bytes);
   const double scale = 115879.0 / static_cast<double>(corpus.size());

@@ -8,7 +8,8 @@
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_options(argc, argv);
   banner("Table I: Number of queries to non-indexed data");
   sim::SimulationConfig base = paper_config();
   const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
@@ -25,20 +26,26 @@ int main() {
       {"Single-cache", index::CachePolicy::kSingle, 0, " 563 /  600 /  581"},
   };
 
-  std::printf("%-14s %8s %8s %8s   %s\n", "policy", "simple", "flat", "complex",
-              "paper (S/F/C)");
+  std::vector<sim::SimulationConfig> cells;
   for (const Policy& p : policies) {
-    std::printf("%-14s", p.label.c_str());
-    double avg_extra = 0.0;
     for (const index::SchemeKind scheme :
          {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
       sim::SimulationConfig config = base;
       config.scheme = scheme;
       config.policy = p.policy;
       config.cache_capacity = p.capacity;
-      const sim::SimulationResults r = run_simulation(config, &corpus);
-      std::printf(" %8zu", r.non_indexed_queries);
-      avg_extra += r.avg_generalization_steps;
+      cells.push_back(config);
+    }
+  }
+  const auto results = run_cells("table1_nonindexed", cells, &corpus, options);
+
+  std::printf("%-14s %8s %8s %8s   %s\n", "policy", "simple", "flat", "complex",
+              "paper (S/F/C)");
+  std::size_t cell = 0;
+  for (const Policy& p : policies) {
+    std::printf("%-14s", p.label.c_str());
+    for (int s = 0; s < 3; ++s) {
+      std::printf(" %8zu", results[cell++].results.non_indexed_queries);
     }
     std::printf("   %s\n", p.paper);
   }

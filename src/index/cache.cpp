@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+
 namespace dhtidx::index {
 
 std::string to_string(CachePolicy policy) {
@@ -38,6 +40,7 @@ bool ShortcutCache::insert(const query::Query& source, const query::Query& targe
   const auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
+    promote_in_bucket(source.canonical(), it->second);
     return false;
   }
   if (capacity_ != 0) {
@@ -45,14 +48,31 @@ bool ShortcutCache::insert(const query::Query& source, const query::Query& targe
   }
   lru_.push_front(Entry{source, target});
   by_key_.emplace(key, lru_.begin());
-  by_source_[source.canonical()].push_back(lru_.begin());
+  auto& bucket = by_source_[source.canonical()];
+  bucket.insert(bucket.begin(), lru_.begin());
   bytes_ += source.byte_size() + target.byte_size();
   return true;
 }
 
 void ShortcutCache::touch(const query::Query& source, const query::Query& target) {
   const auto it = by_key_.find(key_of(source, target));
-  if (it != by_key_.end()) lru_.splice(lru_.begin(), lru_, it->second);
+  if (it == by_key_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  promote_in_bucket(source.canonical(), it->second);
+}
+
+void ShortcutCache::promote_in_bucket(const std::string& source_key,
+                                      std::list<Entry>::iterator entry_it) {
+  const auto it = by_source_.find(source_key);
+  if (it == by_source_.end()) {
+    throw InvariantError("shortcut cache: source bucket missing for " + source_key);
+  }
+  auto& bucket = it->second;
+  const auto pos = std::find(bucket.begin(), bucket.end(), entry_it);
+  if (pos == bucket.end()) {
+    throw InvariantError("shortcut cache: entry missing from bucket for " + source_key);
+  }
+  std::rotate(bucket.begin(), pos, std::next(pos));
 }
 
 void ShortcutCache::evict_lru() {
@@ -61,9 +81,22 @@ void ShortcutCache::evict_lru() {
   bytes_ -= victim->source.byte_size() + victim->target.byte_size();
   const std::string source_key = victim->source.canonical();
   by_key_.erase(key_of(victim->source, victim->target));
-  auto& bucket = by_source_[source_key];
-  bucket.erase(std::remove(bucket.begin(), bucket.end(), victim), bucket.end());
-  if (bucket.empty()) by_source_.erase(source_key);
+  // find(), not operator[]: the victim must have a bucket -- silently
+  // materializing an empty one would hide index corruption and leak map
+  // entries.
+  const auto bucket_it = by_source_.find(source_key);
+  if (bucket_it == by_source_.end()) {
+    throw InvariantError("shortcut cache: evicting entry with no source bucket for " +
+                         source_key);
+  }
+  auto& bucket = bucket_it->second;
+  const auto pos = std::find(bucket.begin(), bucket.end(), victim);
+  if (pos == bucket.end()) {
+    throw InvariantError("shortcut cache: evicted entry absent from its bucket for " +
+                         source_key);
+  }
+  bucket.erase(pos);
+  if (bucket.empty()) by_source_.erase(bucket_it);
   lru_.erase(victim);
   ++evictions_;
 }

@@ -82,6 +82,11 @@ class ShortcutCache {
 
   void evict_lru();
 
+  /// Moves the entry to the front of its source bucket so find() keeps
+  /// returning targets most recently used first.
+  void promote_in_bucket(const std::string& source_key,
+                         std::list<Entry>::iterator entry_it);
+
   std::size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;

@@ -1,0 +1,171 @@
+#include "sim/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dhtidx::sim {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+const char* substrate_name(Substrate substrate) {
+  switch (substrate) {
+    case Substrate::kRing:
+      return "ring";
+    case Substrate::kChord:
+      return "chord";
+    case Substrate::kCan:
+      return "can";
+    case Substrate::kPastry:
+      return "pastry";
+  }
+  return "?";
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void append_field(std::string& out, const char* name, std::string_view value,
+                  bool quoted = true) {
+  if (out.back() != '{') out.push_back(',');
+  out.push_back('"');
+  out += name;
+  out += "\":";
+  if (quoted) {
+    out.push_back('"');
+    append_json_escaped(out, value);
+    out.push_back('"');
+  } else {
+    out += value;
+  }
+}
+
+std::string num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::size_t cell_index) {
+  // SplitMix64 finalizer over the pair: each (base, index) lands on an
+  // independent-looking seed, identical on every platform and thread count.
+  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(cell_index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void parallel_for(std::size_t jobs, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t workers = std::min(resolve_jobs(jobs), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(options), jobs_(resolve_jobs(options.jobs)) {}
+
+SweepSummary SweepRunner::run(const std::vector<SimulationConfig>& cells,
+                              const biblio::Corpus* shared_corpus) const {
+  SweepSummary summary;
+  summary.jobs = std::min(jobs_, std::max<std::size_t>(cells.size(), 1));
+  summary.cells.resize(cells.size());
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  parallel_for(jobs_, cells.size(), [&](std::size_t i) {
+    CellResult& cell = summary.cells[i];
+    cell.index = i;
+    cell.config = cells[i];
+    if (options_.base_seed) {
+      cell.config.seed = derive_cell_seed(*options_.base_seed, i);
+    }
+    const auto cell_start = std::chrono::steady_clock::now();
+    cell.results = run_simulation(cell.config, shared_corpus);
+    cell.wall_seconds = seconds_since(cell_start);
+  });
+
+  summary.wall_seconds = seconds_since(sweep_start);
+  return summary;
+}
+
+std::string json_summary(std::string_view bench_name, const SweepSummary& sweep) {
+  std::string out = "{";
+  append_field(out, "bench", bench_name);
+  append_field(out, "jobs", std::to_string(sweep.jobs), false);
+  append_field(out, "cells", std::to_string(sweep.cells.size()), false);
+  append_field(out, "wall_s", num(sweep.wall_seconds), false);
+  out += ",\"results\":[";
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    const CellResult& cell = sweep.cells[i];
+    const SimulationResults& r = cell.results;
+    if (i != 0) out.push_back(',');
+    out.push_back('{');
+    append_field(out, "cell", std::to_string(cell.index), false);
+    append_field(out, "label", config_label(cell.config));
+    append_field(out, "scheme", index::to_string(cell.config.scheme));
+    append_field(out, "policy", index::to_string(cell.config.policy));
+    append_field(out, "capacity", std::to_string(cell.config.cache_capacity), false);
+    append_field(out, "substrate", substrate_name(cell.config.substrate));
+    append_field(out, "nodes", std::to_string(cell.config.nodes), false);
+    append_field(out, "queries", std::to_string(cell.config.queries), false);
+    append_field(out, "seed", std::to_string(cell.config.seed), false);
+    append_field(out, "wall_s", num(cell.wall_seconds), false);
+    append_field(out, "avg_interactions", num(r.avg_interactions), false);
+    append_field(out, "hit_ratio", num(r.hit_ratio), false);
+    append_field(out, "first_node_hit_share", num(r.first_node_hit_share), false);
+    append_field(out, "normal_traffic_per_query", num(r.normal_traffic_per_query), false);
+    append_field(out, "cache_traffic_per_query", num(r.cache_traffic_per_query), false);
+    append_field(out, "avg_cached_keys_per_node", num(r.avg_cached_keys_per_node), false);
+    append_field(out, "non_indexed_queries", std::to_string(r.non_indexed_queries), false);
+    append_field(out, "failed_lookups", std::to_string(r.failed_lookups), false);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dhtidx::sim

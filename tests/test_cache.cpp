@@ -38,6 +38,75 @@ TEST(ShortcutCache, MultipleTargetsPerSource) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+// Regression: find() documents "most recently used first", but the per-source
+// buckets used to keep plain insertion order and were never reordered by
+// touch() or a refreshing insert().
+TEST(ShortcutCache, FindReturnsMostRecentlyUsedFirst) {
+  ShortcutCache cache;
+  const Query source = q("/article/author/last/Smith");
+  const Query a = q("/article[title=A]");
+  const Query b = q("/article[title=B]");
+  const Query c = q("/article[title=C]");
+  cache.insert(source, a);
+  cache.insert(source, b);
+  cache.insert(source, c);
+  // Most recent insertion first, not insertion order.
+  auto found = cache.find(source);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(*found[0], c);
+  EXPECT_EQ(*found[1], b);
+  EXPECT_EQ(*found[2], a);
+
+  cache.touch(source, a);
+  found = cache.find(source);
+  EXPECT_EQ(*found[0], a);
+  EXPECT_EQ(*found[1], c);
+  EXPECT_EQ(*found[2], b);
+
+  cache.insert(source, b);  // refresh, not a new entry: also promotes
+  found = cache.find(source);
+  EXPECT_EQ(*found[0], b);
+  EXPECT_EQ(*found[1], a);
+  EXPECT_EQ(*found[2], c);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ShortcutCache, RecencyOrderSurvivesEviction) {
+  ShortcutCache cache{3};
+  const Query source = q("/article/author/last/Smith");
+  const Query a = q("/article[title=A]");
+  const Query b = q("/article[title=B]");
+  const Query c = q("/article[title=C]");
+  const Query d = q("/article[title=D]");
+  cache.insert(source, a);
+  cache.insert(source, b);
+  cache.insert(source, c);
+  cache.touch(source, a);   // order now a, c, b
+  cache.insert(source, d);  // evicts b (the LRU entry)
+  EXPECT_FALSE(cache.contains(source, b));
+  const auto found = cache.find(source);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(*found[0], d);
+  EXPECT_EQ(*found[1], a);
+  EXPECT_EQ(*found[2], c);
+}
+
+TEST(ShortcutCache, TouchOnOtherSourceLeavesBucketAlone) {
+  ShortcutCache cache;
+  const Query s1 = q("/article/author/last/Smith");
+  const Query s2 = q("/article/author/last/Jones");
+  const Query a = q("/article[title=A]");
+  const Query b = q("/article[title=B]");
+  cache.insert(s1, a);
+  cache.insert(s1, b);
+  cache.insert(s2, a);
+  cache.touch(s2, a);  // must not disturb s1's ordering
+  const auto found = cache.find(s1);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(*found[0], b);
+  EXPECT_EQ(*found[1], a);
+}
+
 TEST(ShortcutCache, MissIsEmpty) {
   ShortcutCache cache;
   EXPECT_TRUE(cache.find(q("/article/title/Nope")).empty());
