@@ -1,0 +1,102 @@
+// Deep invariant auditor for the index graph.
+//
+// The paper's correctness story rests on structural invariants that the rest
+// of the library upholds by construction but never re-verifies: every index
+// entry (q ; qi) must satisfy the covering relation q ⊒ qi (Section IV), every
+// MSD must stay reachable from its scheme's entry queries (Section IV-B),
+// every entry must live on the node responsible for h(q) under the active
+// substrate (Section III-A), and the shortcut caches must stay coherent with
+// the stored files (Section IV-C). The Auditor takes a built system --
+// substrate + DhtStore + IndexService (+ optionally the IndexingScheme and a
+// snapshot) -- and exhaustively checks each invariant, producing a structured
+// Report. It reads state that already exists and never creates node state,
+// charges the traffic ledger, or mutates the index.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "audit/report.hpp"
+#include "dht/dht.hpp"
+#include "index/scheme.hpp"
+#include "index/service.hpp"
+#include "storage/dht_store.hpp"
+
+namespace dhtidx::audit {
+
+/// What to audit and how hard.
+struct Options {
+  /// Enables the reachability check: every stored file's MSD must be
+  /// reachable by iterated lookup from each entry query the scheme generates
+  /// for it. Without a scheme the check is skipped (0 checked).
+  const index::IndexingScheme* scheme = nullptr;
+
+  /// When set, the snapshot-fidelity check loads *this* document instead of
+  /// round-tripping the live system through save_snapshot(); use it to vet an
+  /// on-disk snapshot against the system it claims to capture.
+  std::optional<std::string> snapshot_xml;
+
+  /// Per-invariant selection (all on by default).
+  bool check_covering = true;
+  bool check_reachability = true;
+  bool check_acyclicity = true;
+  bool check_placement = true;
+  bool check_cache_coherence = true;
+  bool check_snapshot = true;
+
+  /// Cap on recorded Violation details per invariant; counting continues
+  /// past the cap (SectionStats::violations is always exact).
+  std::size_t max_recorded_violations = 64;
+
+  /// Bound on the iterated-lookup walk depth during reachability.
+  int reachability_depth_limit = 16;
+};
+
+/// Exhaustive invariant checker over a built index + storage + substrate.
+class Auditor {
+ public:
+  /// All references must outlive the auditor. `dht` is non-const because
+  /// resolving responsibility routes through the substrate (which accounts
+  /// routing traffic on the protocol substrates); logical index/storage state
+  /// is never modified.
+  Auditor(dht::Dht& dht, const index::IndexService& service,
+          const storage::DhtStore& store, Options options = {});
+
+  /// Runs every enabled check and returns the combined report.
+  Report run();
+
+ private:
+  void check_covering(Report& report);
+  void check_reachability(Report& report);
+  void check_acyclicity(Report& report);
+  void check_placement(Report& report);
+  void check_cache_coherence(Report& report);
+  void check_snapshot(Report& report);
+
+  void add_violation(Report& report, Invariant invariant, std::string subject,
+                     std::string detail);
+
+  /// Canonical forms of the MSDs of every stored file record, with their
+  /// parsed queries (computed once per run).
+  struct StoredMsd {
+    query::Query msd;
+    Id key;
+  };
+  const std::vector<StoredMsd>& stored_msds();
+
+  dht::Dht& dht_;
+  const index::IndexService& service_;
+  const storage::DhtStore& store_;
+  Options options_;
+  std::optional<std::vector<StoredMsd>> stored_msds_;
+};
+
+/// Convenience used by the DHTIDX_AUDIT hooks: runs a full audit and throws
+/// InvariantError naming `phase` plus the report text when violations are
+/// found.
+void audit_or_throw(std::string_view phase, dht::Dht& dht,
+                    const index::IndexService& service, const storage::DhtStore& store,
+                    const Options& options = {});
+
+}  // namespace dhtidx::audit

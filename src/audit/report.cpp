@@ -1,0 +1,79 @@
+#include "audit/report.hpp"
+
+#include "common/json.hpp"
+
+namespace dhtidx::audit {
+
+std::string to_string(Invariant invariant) {
+  switch (invariant) {
+    case Invariant::kCovering:
+      return "covering";
+    case Invariant::kReachability:
+      return "reachability";
+    case Invariant::kAcyclicity:
+      return "acyclicity";
+    case Invariant::kPlacement:
+      return "placement";
+    case Invariant::kCacheCoherence:
+      return "cache-coherence";
+    case Invariant::kSnapshot:
+      return "snapshot";
+  }
+  return "?";
+}
+
+std::size_t Report::total_checked() const {
+  std::size_t total = 0;
+  for (const SectionStats& s : sections) total += s.checked;
+  return total;
+}
+
+std::size_t Report::total_violations() const {
+  std::size_t total = 0;
+  for (const SectionStats& s : sections) total += s.violations;
+  return total;
+}
+
+std::string Report::to_text() const {
+  std::string out;
+  for (std::size_t i = 0; i < kInvariantCount; ++i) {
+    const SectionStats& s = sections[i];
+    out += to_string(static_cast<Invariant>(i));
+    out += ": ";
+    out += std::to_string(s.checked);
+    out += " checked, ";
+    out += std::to_string(s.violations);
+    out += s.violations == 1 ? " violation\n" : " violations\n";
+  }
+  for (const Violation& v : violations) {
+    out += "  [" + to_string(v.invariant) + "] " + v.subject + ": " + v.detail + "\n";
+  }
+  const std::size_t total = total_violations();
+  if (total > violations.size()) {
+    out += "  (" + std::to_string(total - violations.size()) +
+           " further violations not recorded)\n";
+  }
+  return out;
+}
+
+std::string json_summary(std::string_view audit_name, const Report& report) {
+  std::string out = "{";
+  json::append_field(out, "audit", audit_name);
+  json::append_field(out, "clean", report.clean() ? "true" : "false", false);
+  json::append_field(out, "checked", std::to_string(report.total_checked()), false);
+  json::append_field(out, "violations", std::to_string(report.total_violations()), false);
+  out += ",\"invariants\":[";
+  for (std::size_t i = 0; i < kInvariantCount; ++i) {
+    const SectionStats& s = report.sections[i];
+    if (i != 0) out.push_back(',');
+    out.push_back('{');
+    json::append_field(out, "invariant", to_string(static_cast<Invariant>(i)));
+    json::append_field(out, "checked", std::to_string(s.checked), false);
+    json::append_field(out, "violations", std::to_string(s.violations), false);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dhtidx::audit

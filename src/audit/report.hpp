@@ -1,0 +1,72 @@
+// Structured audit results.
+//
+// An audit::Report is the output of one Auditor run: per-invariant counts of
+// what was checked and what failed, plus bounded per-violation records naming
+// the offending keys/queries. Reports render as a multi-line human summary or
+// as the one-line JSON trajectory format the bench sweeps use.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dhtidx::audit {
+
+/// The named structural invariants the auditor verifies (see DESIGN.md,
+/// "Invariants and auditing").
+enum class Invariant {
+  kCovering,        ///< every mapping (q ; qi) satisfies q ⊒ qi (Section IV)
+  kReachability,    ///< every MSD reachable from its scheme entry queries
+  kAcyclicity,      ///< the query-to-query graph has no cycles
+  kPlacement,       ///< entries live on the node responsible for h(source)
+  kCacheCoherence,  ///< shortcuts point at stored MSDs; buckets bounded + MRU
+  kSnapshot,        ///< persist round-trip reproduces an identical store
+};
+
+inline constexpr std::size_t kInvariantCount = 6;
+
+std::string to_string(Invariant invariant);
+
+/// One detected violation.
+struct Violation {
+  Invariant invariant = Invariant::kCovering;
+  std::string subject;  ///< offending key/query (canonical form or hex id)
+  std::string detail;   ///< what exactly is wrong
+};
+
+/// Counters for one invariant.
+struct SectionStats {
+  std::size_t checked = 0;     ///< facts examined (mappings, entries, keys...)
+  std::size_t violations = 0;  ///< of which failed (also counts past the
+                               ///< recording cap on Violation records)
+};
+
+/// The outcome of one audit run.
+struct Report {
+  std::array<SectionStats, kInvariantCount> sections{};
+  std::vector<Violation> violations;  ///< recorded details, possibly capped
+
+  SectionStats& section(Invariant invariant) {
+    return sections[static_cast<std::size_t>(invariant)];
+  }
+  const SectionStats& section(Invariant invariant) const {
+    return sections[static_cast<std::size_t>(invariant)];
+  }
+
+  std::size_t total_checked() const;
+  std::size_t total_violations() const;
+  bool clean() const { return total_violations() == 0; }
+
+  /// Multi-line human-readable rendering: one line per invariant plus one
+  /// line per recorded violation.
+  std::string to_text() const;
+};
+
+/// One-line machine-readable summary in the sweep JSON style:
+/// {"audit":"<name>","clean":true,"checked":N,"violations":0,
+///  "invariants":[{"invariant":"covering","checked":...,"violations":...},..]}
+std::string json_summary(std::string_view audit_name, const Report& report);
+
+}  // namespace dhtidx::audit

@@ -1,0 +1,58 @@
+// Minimal one-line JSON emission.
+//
+// The bench sweeps and the invariant auditor both print single-line JSON
+// summaries (the `BENCH_*.json` trajectory format). This header holds the
+// tiny append-style builder they share; it is not a general JSON library --
+// no nesting bookkeeping, the caller writes the braces.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dhtidx::json {
+
+/// Appends `text` with JSON string escaping (quotes, backslashes, control
+/// characters).
+inline void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+/// Appends `"name":value` to an object under construction, inserting the
+/// separating comma unless the object was just opened. `quoted` selects
+/// between string values (escaped) and raw literals (numbers, booleans,
+/// nested arrays/objects the caller already serialized).
+inline void append_field(std::string& out, const char* name, std::string_view value,
+                         bool quoted = true) {
+  if (out.back() != '{' && out.back() != '[') out.push_back(',');
+  out.push_back('"');
+  out += name;
+  out += "\":";
+  if (quoted) {
+    out.push_back('"');
+    append_escaped(out, value);
+    out.push_back('"');
+  } else {
+    out += value;
+  }
+}
+
+/// Shortest round-trippable rendering of a double.
+inline std::string num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  return buf;
+}
+
+}  // namespace dhtidx::json

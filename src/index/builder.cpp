@@ -50,8 +50,9 @@ std::size_t IndexBuilder::remove_file(const xml::Element& descriptor) {
 
   // Remove the file record itself first.
   const Id file_key = msd.key();
-  const auto get = store_.get(file_key);
-  for (const storage::Record r : *get.records) {  // copy: removal mutates the vector
+  // Copy the records first: removal mutates the vector being walked.
+  const std::vector<storage::Record> records = *store_.get(file_key).records;
+  for (const storage::Record& r : records) {
     store_.remove(file_key, r);
   }
 

@@ -31,6 +31,14 @@ std::vector<const query::Query*> ShortcutCache::find(const query::Query& source)
   return out;
 }
 
+std::vector<std::pair<const query::Query*, const query::Query*>> ShortcutCache::entries()
+    const {
+  std::vector<std::pair<const query::Query*, const query::Query*>> out;
+  out.reserve(lru_.size());
+  for (const Entry& entry : lru_) out.emplace_back(&entry.source, &entry.target);
+  return out;
+}
+
 bool ShortcutCache::contains(const query::Query& source, const query::Query& target) const {
   return by_key_.contains(key_of(source, target));
 }

@@ -62,6 +62,14 @@ class ShortcutCache {
   /// Marks the entry as most recently used.
   void touch(const query::Query& source, const query::Query& target);
 
+  /// Every (source, target) shortcut in global recency order, most recently
+  /// used first. Exposed for diagnostics and the audit subsystem; the
+  /// pointers stay valid until the cache is next mutated.
+  std::vector<std::pair<const query::Query*, const query::Query*>> entries() const;
+
+  /// Number of distinct source buckets currently tracked.
+  std::size_t source_count() const { return by_source_.size(); }
+
   std::size_t size() const { return lru_.size(); }
   std::size_t capacity() const { return capacity_; }
   bool full() const { return capacity_ != 0 && lru_.size() >= capacity_; }

@@ -5,6 +5,9 @@
 #include <set>
 
 #include "common/error.hpp"
+#ifdef DHTIDX_AUDIT
+#include "audit/audit.hpp"
+#endif
 #include "dht/can.hpp"
 #include "dht/chord.hpp"
 #include "dht/pastry.hpp"
@@ -74,6 +77,13 @@ SimulationResults run_simulation(const SimulationConfig& config,
   for (const biblio::Article& article : corpus.articles()) {
     builder.index_file(article.descriptor(), article.file_name(), article.file_bytes);
   }
+#ifdef DHTIDX_AUDIT
+  // Phase boundary: the index is fully built, no query has run. Any audit
+  // traffic lands before the resets below, so measurements are unaffected.
+  audit::Options audit_options;
+  audit_options.scheme = &builder.scheme();
+  audit::audit_or_throw("post-build", ring, service, store, audit_options);
+#endif
   // Index construction traffic is not part of the per-query measurements.
   ledger.reset();
   if (chord_substrate) chord_substrate->routing_stats().reset();
@@ -187,6 +197,13 @@ SimulationResults run_simulation(const SimulationConfig& config,
     r.node_load_fractions.push_back(touches / n_queries);
   }
   std::sort(r.node_load_fractions.begin(), r.node_load_fractions.end(), std::greater<>());
+
+#ifdef DHTIDX_AUDIT
+  // Phase boundary: the query feed is done and every metric collected. For a
+  // SweepRunner sweep this is the end-of-cell audit -- the whole world is
+  // cell-local and about to be destroyed.
+  audit::audit_or_throw("post-run", ring, service, store, audit_options);
+#endif
 
   return r;
 }

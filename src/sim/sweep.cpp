@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace dhtidx::sim {
 
@@ -35,32 +37,21 @@ const char* substrate_name(Substrate substrate) {
   return "?";
 }
 
-void append_json_escaped(std::string& out, std::string_view text) {
-  for (const char c : text) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-}
+using json::append_field;
+using json::num;
 
-void append_field(std::string& out, const char* name, std::string_view value,
-                  bool quoted = true) {
-  if (out.back() != '{') out.push_back(',');
-  out.push_back('"');
-  out += name;
-  out += "\":";
-  if (quoted) {
-    out.push_back('"');
-    append_json_escaped(out, value);
-    out.push_back('"');
-  } else {
-    out += value;
+/// Rethrows `error` wrapped so the message names the failing cell. The
+/// original exception type is preserved for non-std exceptions; everything
+/// derived from std::exception resurfaces as dhtidx::Error (itself a
+/// std::runtime_error, so catch sites keep working).
+[[noreturn]] void rethrow_named(std::exception_ptr error, std::size_t cell) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    throw Error("parallel_for: cell " + std::to_string(cell) + " failed: " + e.what());
+  } catch (...) {
+    std::rethrow_exception(error);
   }
-}
-
-std::string num(double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.9g", value);
-  return buf;
 }
 
 }  // namespace
@@ -79,22 +70,36 @@ void parallel_for(std::size_t jobs, std::size_t count,
   if (count == 0) return;
   const std::size_t workers = std::min(resolve_jobs(jobs), count);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        rethrow_named(std::current_exception(), i);
+      }
+    }
     return;
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
   std::exception_ptr first_error;
+  std::size_t first_error_cell = 0;
   std::mutex error_mutex;
   auto worker = [&] {
-    for (;;) {
+    // Fail fast: once any worker records an error, the others stop claiming
+    // cells instead of grinding through the rest of the sweep.
+    while (!abort.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
         body(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock{error_mutex};
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_error_cell = i;
+        }
+        abort.store(true, std::memory_order_relaxed);
       }
     }
   };
@@ -103,7 +108,7 @@ void parallel_for(std::size_t jobs, std::size_t count,
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) rethrow_named(first_error, first_error_cell);
 }
 
 SweepRunner::SweepRunner(SweepOptions options)

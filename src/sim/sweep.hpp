@@ -61,10 +61,12 @@ struct SweepSummary {
 /// derived-seed sweeps replay bit-identically at any --jobs value.
 std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::size_t cell_index);
 
-/// Runs body(0..count-1), each index exactly once, on up to `jobs` worker
-/// threads (0 = hardware concurrency). Blocks until every index completed;
-/// rethrows the first exception a worker raised. `body` must only touch
-/// index-local or read-only state.
+/// Runs body(0..count-1), each index at most once, on up to `jobs` worker
+/// threads (0 = hardware concurrency). Fails fast: when a body throws, no
+/// further index is claimed (already-running ones finish), and the first
+/// error is rethrown as a dhtidx::Error naming the failing cell index
+/// (non-std exceptions are rethrown as-is). Without errors every index runs
+/// exactly once. `body` must only touch index-local or read-only state.
 void parallel_for(std::size_t jobs, std::size_t count,
                   const std::function<void(std::size_t)>& body);
 
@@ -79,7 +81,9 @@ class SweepRunner {
   /// Runs every cell and returns the results in submission order. When
   /// `shared_corpus` is non-null all cells read it concurrently (it must not
   /// be mutated for the duration of the call); otherwise each cell generates
-  /// its own corpus from its config.
+  /// its own corpus from its config. Under -DDHTIDX_AUDIT=ON every cell is
+  /// invariant-audited at its phase boundaries (see src/audit); a violation
+  /// fails the sweep fast with an error naming the cell.
   SweepSummary run(const std::vector<SimulationConfig>& cells,
                    const biblio::Corpus* shared_corpus = nullptr) const;
 

@@ -71,6 +71,31 @@ TEST(ShortcutCache, FindReturnsMostRecentlyUsedFirst) {
   EXPECT_EQ(cache.size(), 3u);
 }
 
+// entries() exposes the global recency order (MRU first) across all sources;
+// the auditor uses it to cross-check the per-source buckets.
+TEST(ShortcutCache, EntriesWalkGlobalRecencyOrder) {
+  ShortcutCache cache;
+  const Query smith = q("/article/author/last/Smith");
+  const Query jones = q("/article/author/last/Jones");
+  const Query a = q("/article[title=A]");
+  const Query b = q("/article[title=B]");
+  const Query c = q("/article[title=C]");
+  cache.insert(smith, a);
+  cache.insert(jones, b);
+  cache.insert(smith, c);
+  cache.touch(jones, b);
+
+  const auto entries = cache.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(*entries[0].first, jones);
+  EXPECT_EQ(*entries[0].second, b);
+  EXPECT_EQ(*entries[1].first, smith);
+  EXPECT_EQ(*entries[1].second, c);
+  EXPECT_EQ(*entries[2].first, smith);
+  EXPECT_EQ(*entries[2].second, a);
+  EXPECT_EQ(cache.source_count(), 2u);
+}
+
 TEST(ShortcutCache, RecencyOrderSurvivesEviction) {
   ShortcutCache cache{3};
   const Query source = q("/article/author/last/Smith");

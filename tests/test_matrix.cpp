@@ -112,16 +112,16 @@ INSTANTIATE_TEST_SUITE_P(
                                          index::CachePolicy::kSingle,
                                          index::CachePolicy::kMulti,
                                          index::CachePolicy::kLru)),
-    [](const ::testing::TestParamInfo<MatrixParam>& info) {
-      return net_name(std::get<0>(info.param)) + "_" +
-             index::to_string(std::get<1>(info.param)) + "_" +
+    [](const ::testing::TestParamInfo<MatrixParam>& param_info) {
+      return net_name(std::get<0>(param_info.param)) + "_" +
+             index::to_string(std::get<1>(param_info.param)) + "_" +
              [](index::CachePolicy p) {
                std::string s = index::to_string(p);
                for (char& c : s) {
                  if (c == '-') c = '_';
                }
                return s;
-             }(std::get<2>(info.param));
+             }(std::get<2>(param_info.param));
     });
 
 }  // namespace

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
 
@@ -179,6 +182,47 @@ TEST(ParallelFor, PropagatesWorkerExceptions) {
                      if (i == 7) throw std::runtime_error("cell failed");
                    }),
       std::runtime_error);
+}
+
+TEST(ParallelFor, RethrownErrorNamesTheFailingCell) {
+  try {
+    parallel_for(4, 16, [](std::size_t i) {
+      if (i == 7) throw std::runtime_error("boom");
+    });
+    FAIL() << "exception was not propagated";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cell 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  }
+}
+
+TEST(ParallelFor, SerialPathAlsoNamesTheFailingCell) {
+  try {
+    parallel_for(1, 8, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("boom");
+    });
+    FAIL() << "exception was not propagated";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("cell 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ParallelFor, FailsFastAfterFirstError) {
+  // Cell 0 fails immediately; the other cells take ~1 ms each. Without the
+  // abort flag all 10,000 cells would still run; with it, each surviving
+  // worker finishes at most the cell it already claimed plus a few more
+  // claimed before the flag was set.
+  constexpr std::size_t kCount = 10000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(parallel_for(4, kCount,
+                            [&](std::size_t i) {
+                              if (i == 0) throw std::runtime_error("first cell dies");
+                              ++executed;
+                              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                            }),
+               Error);
+  EXPECT_LT(executed.load(), kCount / 10);
 }
 
 TEST(SweepJson, SummaryIsOneMachineReadableLine) {

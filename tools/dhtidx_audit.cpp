@@ -1,0 +1,223 @@
+// dhtidx_audit: invariant auditor for the distributed index (src/audit).
+//
+//   dhtidx_audit [--scheme simple|flat|complex|all] [--substrate ring|chord|can|pastry|all]
+//                [--articles N] [--authors N] [--conferences N] [--corpus corpus.xml]
+//                [--nodes N] [--seed S] [--warm N] [--policy none|single|multi|lru|lru-multi]
+//                [--capacity K] [--snapshot snapshot.xml] [--report]
+//
+// For every selected scheme x substrate combination the tool builds the
+// substrate, indexes the corpus (or restores --snapshot instead), optionally
+// runs --warm lookup sessions to populate the shortcut caches, then runs the
+// full audit: covering, reachability, acyclicity, placement, cache
+// coherence, and snapshot fidelity. One JSON summary line is printed per
+// combination (the sweep trajectory format); violations are printed in full.
+// Exit status: 0 when every audit is clean, 1 when any invariant is
+// violated, 2 on usage errors.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "biblio/corpus.hpp"
+#include "common/error.hpp"
+#include "dht/can.hpp"
+#include "dht/chord.hpp"
+#include "dht/pastry.hpp"
+#include "dht/ring.hpp"
+#include "index/builder.hpp"
+#include "index/lookup.hpp"
+#include "persist/snapshot.hpp"
+#include "workload/generator.hpp"
+
+using namespace dhtidx;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoull(it->second);
+  }
+  bool has(const std::string& key) const { return options.contains(key); }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) throw Error("unexpected argument '" + arg + "'");
+    const std::string key = arg.substr(2);
+    if (key == "report") {
+      args.options[key] = "true";
+    } else if (i + 1 < argc) {
+      args.options[key] = argv[++i];
+    } else {
+      throw Error("option --" + key + " needs a value");
+    }
+  }
+  return args;
+}
+
+std::vector<index::SchemeKind> schemes_from(const std::string& name) {
+  if (name == "all") {
+    return {index::SchemeKind::kSimple, index::SchemeKind::kFlat,
+            index::SchemeKind::kComplex};
+  }
+  if (name == "simple") return {index::SchemeKind::kSimple};
+  if (name == "flat") return {index::SchemeKind::kFlat};
+  if (name == "complex") return {index::SchemeKind::kComplex};
+  throw Error("unknown scheme '" + name + "' (simple|flat|complex|all)");
+}
+
+std::vector<std::string> substrates_from(const std::string& name) {
+  if (name == "all") return {"ring", "chord", "can", "pastry"};
+  if (name == "ring" || name == "chord" || name == "can" || name == "pastry") {
+    return {name};
+  }
+  throw Error("unknown substrate '" + name + "' (ring|chord|can|pastry|all)");
+}
+
+index::CachePolicy policy_from(const std::string& name) {
+  if (name == "none") return index::CachePolicy::kNone;
+  if (name == "single") return index::CachePolicy::kSingle;
+  if (name == "multi") return index::CachePolicy::kMulti;
+  if (name == "lru") return index::CachePolicy::kLru;
+  if (name == "lru-multi") return index::CachePolicy::kLruMulti;
+  throw Error("unknown policy '" + name + "' (none|single|multi|lru|lru-multi)");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Builds the requested substrate with `count` nodes, fully converged.
+std::unique_ptr<dht::Dht> make_substrate(const std::string& name, std::size_t count,
+                                         std::uint64_t seed) {
+  if (name == "ring") {
+    return std::make_unique<dht::Ring>(dht::Ring::with_nodes(count));
+  }
+  if (name == "chord") {
+    auto chord = std::make_unique<dht::ChordNetwork>(seed ^ 0xC402D);
+    for (std::size_t i = 0; i < count; ++i) {
+      chord->add_node("node-" + std::to_string(i));
+      chord->stabilize_round(4);
+      chord->stabilize_round(4);
+    }
+    if (chord->stabilize_until_converged() < 0) {
+      throw InvariantError("chord substrate failed to converge");
+    }
+    return chord;
+  }
+  if (name == "can") {
+    auto can = std::make_unique<dht::CanNetwork>(seed ^ 0xCA9);
+    for (std::size_t i = 0; i < count; ++i) can->add_node("node-" + std::to_string(i));
+    return can;
+  }
+  auto pastry = std::make_unique<dht::PastryNetwork>(seed ^ 0x9A57);
+  for (std::size_t i = 0; i < count; ++i) pastry->add_node("node-" + std::to_string(i));
+  for (int r = 0; r < 3; ++r) pastry->repair_round();
+  if (!pastry->leaf_sets_correct()) {
+    throw InvariantError("pastry substrate failed to converge");
+  }
+  return pastry;
+}
+
+/// Runs `sessions` user lookups so the shortcut caches hold real traffic.
+void warm_caches(index::IndexService& service, storage::DhtStore& store,
+                 const biblio::Corpus& corpus, index::CachePolicy policy,
+                 std::size_t sessions, std::uint64_t seed) {
+  if (sessions == 0 || !index::caching_enabled(policy)) return;
+  index::LookupEngine engine{service, store, {policy}};
+  workload::QueryGenerator generator{corpus, seed};
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const workload::Request request = generator.next();
+    engine.resolve(request.query, corpus.article(request.article_index).msd());
+  }
+}
+
+int run(const Args& args) {
+  const std::uint64_t seed = args.get_size("seed", 7);
+  const std::size_t nodes = args.get_size("nodes", 64);
+  const std::size_t warm = args.get_size("warm", 200);
+  const index::CachePolicy policy = policy_from(args.get("policy", "lru"));
+  const std::size_t capacity =
+      index::bounded_cache(policy) ? args.get_size("capacity", 16) : 0;
+
+  std::optional<biblio::Corpus> corpus;
+  std::optional<std::string> snapshot_xml;
+  if (args.has("snapshot")) {
+    snapshot_xml = read_file(args.get("snapshot", ""));
+  } else if (args.has("corpus")) {
+    corpus.emplace(biblio::Corpus::from_xml(read_file(args.get("corpus", ""))));
+  } else {
+    biblio::CorpusConfig config;
+    config.articles = args.get_size("articles", 500);
+    config.authors = args.get_size("authors", config.articles / 3 + 1);
+    config.conferences = args.get_size("conferences", 20);
+    config.seed = seed;
+    corpus.emplace(biblio::Corpus::generate(config));
+  }
+
+  bool all_clean = true;
+  for (const std::string& substrate_name : substrates_from(args.get("substrate", "all"))) {
+    for (const index::SchemeKind scheme_kind : schemes_from(args.get("scheme", "all"))) {
+      const index::IndexingScheme scheme = index::IndexingScheme::make(scheme_kind);
+      const std::unique_ptr<dht::Dht> substrate =
+          make_substrate(substrate_name, nodes, seed);
+      net::TrafficLedger ledger;
+      storage::DhtStore store{*substrate, ledger};
+      index::IndexService service{*substrate, ledger, capacity};
+
+      if (snapshot_xml) {
+        persist::load_snapshot(*snapshot_xml, service, store);
+      } else {
+        index::IndexBuilder builder{service, store, scheme};
+        for (const biblio::Article& article : corpus->articles()) {
+          builder.index_file(article.descriptor(), article.file_name(),
+                             article.file_bytes);
+        }
+        warm_caches(service, store, *corpus, policy, warm, seed);
+      }
+
+      audit::Options options;
+      options.scheme = &scheme;
+      audit::Auditor auditor{*substrate, service, store, options};
+      const audit::Report report = auditor.run();
+      const std::string name = index::to_string(scheme_kind) + "/" + substrate_name;
+      std::printf("%s\n", audit::json_summary(name, report).c_str());
+      if (!report.clean() || args.has("report")) {
+        std::fputs(report.to_text().c_str(), stderr);
+      }
+      all_clean = all_clean && report.clean();
+    }
+  }
+  return all_clean ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "dhtidx_audit: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dhtidx_audit: %s\n", e.what());
+    return 2;
+  }
+}
