@@ -87,6 +87,7 @@ Report Auditor::run() {
   if (options_.check_placement) check_placement(report);
   if (options_.check_cache_coherence) check_cache_coherence(report);
   if (options_.check_snapshot) check_snapshot(report);
+  if (options_.check_replica_consistency) check_replica_consistency(report);
   return report;
 }
 
@@ -259,19 +260,29 @@ void Auditor::check_acyclicity(Report& report) {
   }
 }
 
-// Invariant 4 (Section III-A): each index entry lives on the node responsible
-// for h(source); each stored record lives inside its key's replica set; and
+// Invariant 4 (Section III-A): each index entry lives inside the replica set
+// of h(source); each stored record lives inside its key's replica set; and
 // the substrate's own membership/ownership state is self-consistent.
 void Auditor::check_placement(Report& report) {
   SectionStats& section = report.section(Invariant::kPlacement);
+  // Replica sets repeat heavily across entries of the same source key;
+  // memoize by canonical source so chord runs do not re-route per mapping.
+  std::unordered_map<std::string, std::vector<Id>> replica_memo;
   for (const auto& [node, state] : service_.states()) {
     for (const auto& [canonical, entry] : state.entries()) {
       ++section.checked;
-      const Id responsible = dht_.lookup(entry.first.key()).node;
-      if (responsible != node) {
+      auto memo = replica_memo.find(canonical);
+      if (memo == replica_memo.end()) {
+        memo = replica_memo
+                   .emplace(canonical,
+                            dht_.replica_set(entry.first.key(), service_.replication()))
+                   .first;
+      }
+      const std::vector<Id>& replicas = memo->second;
+      if (std::find(replicas.begin(), replicas.end(), node) == replicas.end()) {
         add_violation(report, Invariant::kPlacement, canonical,
-                      "index entry on node " + node.brief() + " but " +
-                          responsible.brief() + " is responsible");
+                      "index entry on node " + node.brief() +
+                          " outside the source key's replica set");
       }
     }
   }
@@ -377,7 +388,10 @@ void Auditor::check_cache_coherence(Report& report) {
 
 // Invariant 6: persisting and restoring the system reproduces exactly the
 // same mapping set and record multiset (placement-independent comparison:
-// restore re-places through the current substrate).
+// restore re-places through the current substrate). Under replication the
+// snapshot holds one line per physical copy while restore re-replicates each
+// of them, so the comparison collapses to distinct facts; copy multiplicity
+// is the replica-consistency invariant's business.
 void Auditor::check_snapshot(Report& report) {
   SectionStats& section = report.section(Invariant::kSnapshot);
 
@@ -391,7 +405,7 @@ void Auditor::check_snapshot(Report& report) {
 
   net::TrafficLedger scratch_ledger;
   storage::DhtStore restored_store{dht_, scratch_ledger, store_.replication()};
-  index::IndexService restored_service{dht_, scratch_ledger};
+  index::IndexService restored_service{dht_, scratch_ledger, 0, service_.replication()};
   try {
     persist::load_snapshot(snapshot, restored_service, restored_store);
   } catch (const Error& e) {
@@ -401,9 +415,13 @@ void Auditor::check_snapshot(Report& report) {
   }
 
   const auto diff = [&](std::vector<std::string> before, std::vector<std::string> after,
-                        const char* what) {
+                        const char* what, bool distinct_only) {
     std::sort(before.begin(), before.end());
     std::sort(after.begin(), after.end());
+    if (distinct_only) {
+      before.erase(std::unique(before.begin(), before.end()), before.end());
+      after.erase(std::unique(after.begin(), after.end()), after.end());
+    }
     std::vector<std::string> missing;
     std::set_difference(before.begin(), before.end(), after.begin(), after.end(),
                         std::back_inserter(missing));
@@ -419,8 +437,70 @@ void Auditor::check_snapshot(Report& report) {
                     std::string{what} + " appeared after restore");
     }
   };
-  diff(std::move(live_mappings), mapping_facts(restored_service), "mapping");
-  diff(std::move(live_records), record_facts(restored_store), "record");
+  diff(std::move(live_mappings), mapping_facts(restored_service), "mapping",
+       service_.replication() > 1);
+  diff(std::move(live_records), record_facts(restored_store), "record",
+       store_.replication() > 1);
+}
+
+// Invariant 7: under replication every mapping fact must be present -- with
+// an identical refresh stamp -- on every live replica of its source key. The
+// relaxed placement check already flags facts stranded outside the replica
+// set; this check covers the other failure mode, copies that drifted apart.
+void Auditor::check_replica_consistency(Report& report) {
+  SectionStats& section = report.section(Invariant::kReplicaConsistency);
+
+  // Distinct mapping facts across all nodes. Pointers stay valid: the audit
+  // never mutates index state.
+  struct Fact {
+    const query::Query* source;
+    const query::Query* target;
+  };
+  std::map<std::string, Fact> facts;
+  for (const auto& [node, state] : service_.states()) {
+    for (const auto& [canonical, entry] : state.entries()) {
+      for (const query::Query& target : entry.second) {
+        facts.emplace(mapping_fact(canonical, target.canonical()),
+                      Fact{&entry.first, &target});
+      }
+    }
+  }
+
+  const net::FailureInjector* failures = service_.failures();
+  std::unordered_map<std::string, std::vector<Id>> replica_memo;
+  for (const auto& [fact_key, fact] : facts) {
+    ++section.checked;
+    const std::string canonical = fact.source->canonical();
+    auto memo = replica_memo.find(canonical);
+    if (memo == replica_memo.end()) {
+      memo = replica_memo
+                 .emplace(canonical,
+                          dht_.replica_set(fact.source->key(), service_.replication()))
+                 .first;
+    }
+    std::optional<std::uint64_t> expected;
+    bool mismatch = false;
+    for (const Id& replica : memo->second) {
+      if (failures != nullptr && failures->is_crashed(replica)) continue;
+      const index::IndexNodeState* state = service_.find_state(replica);
+      const std::optional<std::uint64_t> stamp =
+          state == nullptr ? std::nullopt
+                           : state->refresh_stamp(*fact.source, *fact.target);
+      if (!stamp) {
+        add_violation(report, Invariant::kReplicaConsistency, canonical,
+                      "mapping to '" + fact.target->canonical() +
+                          "' missing on live replica " + replica.brief());
+        continue;
+      }
+      if (expected && *stamp != *expected) mismatch = true;
+      if (!expected) expected = stamp;
+    }
+    if (mismatch) {
+      add_violation(report, Invariant::kReplicaConsistency, canonical,
+                    "refresh stamps of the mapping to '" + fact.target->canonical() +
+                        "' differ across live replicas");
+    }
+  }
 }
 
 void audit_or_throw(std::string_view phase, dht::Dht& dht,

@@ -44,6 +44,7 @@ struct Options {
   bool check_placement = true;
   bool check_cache_coherence = true;
   bool check_snapshot = true;
+  bool check_replica_consistency = true;
 
   /// Cap on recorded Violation details per invariant; counting continues
   /// past the cap (SectionStats::violations is always exact).
@@ -73,6 +74,7 @@ class Auditor {
   void check_placement(Report& report);
   void check_cache_coherence(Report& report);
   void check_snapshot(Report& report);
+  void check_replica_consistency(Report& report);
 
   void add_violation(Report& report, Invariant invariant, std::string subject,
                      std::string detail);

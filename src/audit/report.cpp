@@ -18,6 +18,8 @@ std::string to_string(Invariant invariant) {
       return "cache-coherence";
     case Invariant::kSnapshot:
       return "snapshot";
+    case Invariant::kReplicaConsistency:
+      return "replica-consistency";
   }
   return "?";
 }

@@ -23,9 +23,11 @@ enum class Invariant {
   kPlacement,       ///< entries live on the node responsible for h(source)
   kCacheCoherence,  ///< shortcuts point at stored MSDs; buckets bounded + MRU
   kSnapshot,        ///< persist round-trip reproduces an identical store
+  kReplicaConsistency,  ///< every mapping present + stamp-identical on all
+                        ///< live replicas of its source key
 };
 
-inline constexpr std::size_t kInvariantCount = 6;
+inline constexpr std::size_t kInvariantCount = 7;
 
 std::string to_string(Invariant invariant);
 

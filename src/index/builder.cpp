@@ -35,8 +35,17 @@ void IndexBuilder::index_file(const xml::Element& descriptor, const std::string&
   }
 }
 
-std::size_t IndexBuilder::republish(const xml::Element& descriptor, std::uint64_t now) {
+std::size_t IndexBuilder::republish(const xml::Element& descriptor, std::uint64_t now,
+                                    const std::string* file_name,
+                                    std::uint64_t file_bytes) {
   const query::Query msd = query::Query::most_specific(descriptor);
+  if (file_name != nullptr) {
+    storage::Record record;
+    record.kind = "file:" + *file_name;
+    record.payload = xml::write(descriptor, {.pretty = false});
+    record.virtual_payload_bytes = file_bytes;
+    store_.ensure(msd.key(), record);
+  }
   std::size_t refreshed = 0;
   for (const Mapping& m : scheme_.mappings_for(msd)) {
     service_.insert(m.source, m.target, now);

@@ -42,8 +42,12 @@ class IndexBuilder {
   /// Re-announces a file's index entries, refreshing their soft-state
   /// stamps to `now` without touching the stored record. Publishers call
   /// this periodically so their entries survive IndexService::expire().
-  /// Returns the number of mappings refreshed.
-  std::size_t republish(const xml::Element& descriptor, std::uint64_t now);
+  /// When `file_name` is given the stored record is re-announced too:
+  /// replicas that lost their copy in a crash get it back (CFS/PAST-style
+  /// publisher refresh). Returns the number of mappings refreshed.
+  std::size_t republish(const xml::Element& descriptor, std::uint64_t now,
+                        const std::string* file_name = nullptr,
+                        std::uint64_t file_bytes = 0);
 
   /// Deletes the file and cascades index-entry removal (Section IV-C).
   /// Returns the number of mappings removed.

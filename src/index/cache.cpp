@@ -69,6 +69,31 @@ void ShortcutCache::touch(const query::Query& source, const query::Query& target
   promote_in_bucket(source.canonical(), it->second);
 }
 
+bool ShortcutCache::erase(const query::Query& source, const query::Query& target) {
+  const auto it = by_key_.find(key_of(source, target));
+  if (it == by_key_.end()) return false;
+  const auto entry_it = it->second;
+  bytes_ -= entry_it->source.byte_size() + entry_it->target.byte_size();
+  const std::string source_key = entry_it->source.canonical();
+  by_key_.erase(it);
+  const auto bucket_it = by_source_.find(source_key);
+  if (bucket_it == by_source_.end()) {
+    throw InvariantError("shortcut cache: erasing entry with no source bucket for " +
+                         source_key);
+  }
+  auto& bucket = bucket_it->second;
+  const auto pos = std::find(bucket.begin(), bucket.end(), entry_it);
+  if (pos == bucket.end()) {
+    throw InvariantError("shortcut cache: erased entry absent from its bucket for " +
+                         source_key);
+  }
+  bucket.erase(pos);
+  if (bucket.empty()) by_source_.erase(bucket_it);
+  lru_.erase(entry_it);
+  ++invalidations_;
+  return true;
+}
+
 void ShortcutCache::promote_in_bucket(const std::string& source_key,
                                       std::list<Entry>::iterator entry_it) {
   const auto it = by_source_.find(source_key);

@@ -62,6 +62,14 @@ class ShortcutCache {
   /// Marks the entry as most recently used.
   void touch(const query::Query& source, const query::Query& target);
 
+  /// Removes the exact (source, target) shortcut if present. Returns true
+  /// when an entry was removed. Used to invalidate shortcuts whose target
+  /// turned out to be unreachable (stale after a crash or departure).
+  bool erase(const query::Query& source, const query::Query& target);
+
+  /// Number of entries removed via erase() so far.
+  std::uint64_t invalidations() const { return invalidations_; }
+
   /// Every (source, target) shortcut in global recency order, most recently
   /// used first. Exposed for diagnostics and the audit subsystem; the
   /// pointers stay valid until the cache is next mutated.
@@ -101,6 +109,7 @@ class ShortcutCache {
   std::unordered_map<std::string, std::vector<std::list<Entry>::iterator>> by_source_;
   std::uint64_t bytes_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 }  // namespace dhtidx::index

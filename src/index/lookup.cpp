@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_set>
 
@@ -11,55 +12,95 @@ namespace dhtidx::index {
 
 using query::Query;
 
+namespace {
+const std::vector<Query> kNoTargets;
+}
+
 LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_msd) {
   LookupOutcome outcome;
   net::TrafficLedger& ledger = service_.ledger();
   // (node, query asked there) for every index node on the successful path;
   // shortcut creation replays this chain.
   std::vector<std::pair<Id, Query>> asked;
+  // Set while the current q == target_msd was reached through a shortcut jump
+  // from (node, query): a failed fetch then invalidates that shortcut and the
+  // session resumes the normal walk from the jump origin instead of failing.
+  std::optional<std::pair<Id, Query>> jumped_from;
 
   Query q = initial;
   while (outcome.interactions < config_.max_interactions) {
     if (q == target_msd) {
       // Final step: fetch the file from the storage layer (the Publication
-      // index of Figure 5). DhtStore::get accounts its own traffic.
+      // index of Figure 5). DhtStore::get accounts its own traffic and fails
+      // over across storage replicas itself.
       const auto got = store_.get(q.key());
       ++outcome.interactions;
+      outcome.rpc_failures += got.rpc_failures;
       outcome.visited_nodes.push_back(got.node);
       outcome.found = !got.records->empty();
-      if (outcome.found) create_shortcuts(asked, target_msd);
-      return outcome;
+      if (outcome.found) {
+        create_shortcuts(asked, target_msd);
+        break;
+      }
+      if (jumped_from) {
+        // Stale shortcut: the jump promised a file that is not there (crashed
+        // or departed storage). Drop the entry so later sessions stop jumping
+        // into the void, and fall back to the normal walk from where the jump
+        // happened.
+        if (IndexNodeState* origin = service_.find_state(jumped_from->first);
+            origin != nullptr && origin->cache().erase(jumped_from->second, target_msd)) {
+          ledger.cache.record(net::kMessageOverheadBytes);  // invalidation notice
+          ++outcome.stale_shortcuts;
+        }
+        outcome.cache_hit = false;
+        outcome.cache_hit_position = 0;
+        q = jumped_from->second;
+        jumped_from.reset();
+        continue;
+      }
+      if (got.unreachable) outcome.unreachable = true;
+      break;
     }
 
-    const Id node = service_.node_for(q);
-    IndexNodeState& state = service_.state_at(node);
+    const auto contact = service_.contact(q, caching_enabled(config_.policy));
+    outcome.rpc_failures += contact.rpc_failures;
     ++outcome.interactions;
-    outcome.visited_nodes.push_back(node);
-    ledger.queries.record(q.byte_size() + net::kMessageOverheadBytes);
+    outcome.visited_nodes.push_back(contact.node);
+    if (contact.unreachable) {
+      // No replica of this key answered within the retry budget. The walk
+      // cannot continue past a dead key (every covering path routes through
+      // it); report the partial session instead of throwing.
+      outcome.unreachable = true;
+      break;
+    }
+    const Id node = contact.node;
 
     // The shortcut cache is consulted by the node before the regular index;
     // a hit answers with the target descriptor directly.
     bool key_has_cache_entries = false;
-    if (caching_enabled(config_.policy)) {
-      const auto cached = state.cache().find(q);
+    if (caching_enabled(config_.policy) && contact.state != nullptr) {
+      ShortcutCache& cache = contact.state->cache();
+      const auto cached = cache.find(q);
       key_has_cache_entries = !cached.empty();
       const bool hit = std::any_of(cached.begin(), cached.end(), [&](const Query* t) {
         return *t == target_msd;
       });
       if (hit) {
-        state.cache().touch(q, target_msd);
+        cache.touch(q, target_msd);
         ledger.cache.record(target_msd.byte_size() + net::kMessageOverheadBytes);
         if (!outcome.cache_hit) {
           outcome.cache_hit = true;
           outcome.cache_hit_position = static_cast<int>(outcome.visited_nodes.size());
         }
         asked.emplace_back(node, q);
+        jumped_from = std::pair{node, q};
         q = target_msd;  // jump straight to the file
         continue;
       }
     }
 
-    const std::vector<Query>& targets = state.targets_of(q);
+    const std::vector<Query>& targets =
+        contact.state != nullptr ? contact.state->targets_of(q) : kNoTargets;
     std::uint64_t response_bytes = net::kMessageOverheadBytes;
     for (const Query& t : targets) response_bytes += t.byte_size();
     ledger.responses.record(response_bytes);
@@ -96,7 +137,7 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
         break;
       }
     }
-    if (fallback == nullptr) return outcome;  // nothing left to drop: give up
+    if (fallback == nullptr) break;  // nothing left to drop: clean miss
     // Remember the non-indexed query's node: after success a shortcut is
     // created there, so later users asking the same query avoid the error
     // ("the cache reduces the number of errors", Section V-E h).
@@ -104,7 +145,11 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
     ++outcome.generalization_steps;
     q = *fallback;
   }
-  return outcome;  // interaction budget exhausted
+  if (!outcome.found && outcome.interactions >= config_.max_interactions) {
+    outcome.gave_up = true;  // budget exhausted, distinct from a clean miss
+  }
+  outcome.degraded = outcome.rpc_failures > 0;
+  return outcome;
 }
 
 std::vector<Query> LookupEngine::generalization_candidates(const Query& q) {
@@ -141,10 +186,12 @@ void LookupEngine::create_shortcuts(const std::vector<std::pair<Id, Query>>& ask
                                     const Query& target_msd) {
   if (!caching_enabled(config_.policy) || asked.empty()) return;
   net::TrafficLedger& ledger = service_.ledger();
+  net::FailureInjector* failures = service_.failures();
   const std::size_t count = multi_placement(config_.policy) ? asked.size() : 1;
   for (std::size_t i = 0; i < count; ++i) {
     const auto& [node, q] = asked[i];
     if (q == target_msd) continue;  // no point shortcutting the MSD to itself
+    if (failures != nullptr && failures->is_crashed(node)) continue;  // dead, no cache
     IndexNodeState& state = service_.state_at(node);
     if (state.cache().insert(q, target_msd)) {
       ledger.cache.record(q.byte_size() + target_msd.byte_size() +
@@ -169,14 +216,15 @@ std::vector<Query> LookupEngine::search_range(const Query& base,
   return results;
 }
 
-std::vector<Query> LookupEngine::search_all(const Query& initial, int depth_limit) {
-  std::vector<Query> results = search_tree(initial, depth_limit);
+std::vector<Query> LookupEngine::search_all(const Query& initial, int depth_limit,
+                                            SearchStats* stats) {
+  std::vector<Query> results = search_tree(initial, depth_limit, stats);
   if (!results.empty()) return results;
   // The query may simply not be indexed: generalize, search the broader
   // query, and keep only the descriptors the original query covers
   // (Section IV-B's generalization/specialization, automated).
   for (const Query& g : generalization_candidates(initial)) {
-    std::vector<Query> broader = search_all(g, depth_limit);
+    std::vector<Query> broader = search_all(g, depth_limit, stats);
     if (broader.empty()) continue;
     std::vector<Query> filtered;
     for (Query& msd : broader) {
@@ -187,7 +235,8 @@ std::vector<Query> LookupEngine::search_all(const Query& initial, int depth_limi
   return {};
 }
 
-std::vector<Query> LookupEngine::search_tree(const Query& initial, int depth_limit) {
+std::vector<Query> LookupEngine::search_tree(const Query& initial, int depth_limit,
+                                             SearchStats* stats) {
   std::vector<Query> results;
   std::unordered_set<std::string> seen;
   std::vector<std::pair<Query, int>> frontier{{initial, 0}};
@@ -197,9 +246,27 @@ std::vector<Query> LookupEngine::search_tree(const Query& initial, int depth_lim
     frontier.pop_back();
     if (depth > depth_limit) continue;
     const auto reply = service_.lookup(q);  // accounts its own traffic
+    if (stats != nullptr) stats->rpc_failures += reply.rpc_failures;
+    if (reply.unreachable) {
+      // This branch of the index tree is currently dark: return the rest of
+      // the result set as partial instead of failing the whole search.
+      if (stats != nullptr) {
+        ++stats->unreachable_nodes;
+        stats->complete = false;
+      }
+      continue;
+    }
     if (reply.targets.empty()) {
       // Leaf of the index graph: if a file record exists here, q is an MSD.
       const auto got = store_.get(q.key());
+      if (stats != nullptr) stats->rpc_failures += got.rpc_failures;
+      if (got.unreachable) {
+        if (stats != nullptr) {
+          ++stats->unreachable_nodes;
+          stats->complete = false;
+        }
+        continue;
+      }
       if (!got.records->empty()) results.push_back(q);
       continue;
     }
@@ -209,6 +276,22 @@ std::vector<Query> LookupEngine::search_tree(const Query& initial, int depth_lim
   }
   std::sort(results.begin(), results.end());
   return results;
+}
+
+std::size_t LookupEngine::purge_stale_shortcuts() {
+  std::size_t purged = 0;
+  for (auto& [node, state] : service_.states()) {
+    // Collect by value first: erase() mutates the structures entries() points
+    // into.
+    std::vector<std::pair<Query, Query>> stale;
+    for (const auto& [source, target] : state.cache().entries()) {
+      if (!store_.has_record(target->key())) stale.emplace_back(*source, *target);
+    }
+    for (const auto& [source, target] : stale) {
+      if (state.cache().erase(source, target)) ++purged;
+    }
+  }
+  return purged;
 }
 
 }  // namespace dhtidx::index

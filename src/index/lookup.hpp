@@ -41,6 +41,16 @@ struct LookupOutcome {
   bool non_indexed = false;    ///< the initial query was not in any index
   int generalization_steps = 0;  ///< extra interactions spent generalizing
   std::vector<Id> visited_nodes;  ///< nodes contacted, in order (incl. storage)
+
+  // Failure bookkeeping (zeros on a healthy network). `found == false` alone
+  // conflates three distinct endings; the flags below separate them:
+  // a clean miss (all false), an exhausted interaction budget (gave_up), and
+  // a node with no reachable replica (unreachable).
+  int rpc_failures = 0;       ///< delivery attempts that failed along the walk
+  bool degraded = false;      ///< at least one failed attempt (session still ran)
+  bool gave_up = false;       ///< max_interactions exhausted before finding
+  bool unreachable = false;   ///< a required key had no reachable replica
+  int stale_shortcuts = 0;    ///< shortcuts invalidated after a failed jump
 };
 
 /// Directed and exhaustive lookups over a distributed index.
@@ -57,12 +67,23 @@ class LookupEngine {
   /// they want); otherwise the lookup fails cleanly with found == false.
   LookupOutcome resolve(const query::Query& initial, const query::Query& target_msd);
 
+  /// Failure bookkeeping for one exhaustive search. When branches of the
+  /// index tree sat on unreachable nodes the result set is partial
+  /// (`complete == false`) instead of the search throwing mid-walk.
+  struct SearchStats {
+    int rpc_failures = 0;
+    int unreachable_nodes = 0;
+    bool complete = true;
+  };
+
   /// Exhaustive search: every MSD reachable from `initial` through the index
   /// (automated mode: "the system recursively explores the indexes and
   /// returns all the file descriptors that match the original query").
   /// Non-indexed queries are generalized and the broader result set filtered
   /// back down to the original query. `depth_limit` bounds the recursion.
-  std::vector<query::Query> search_all(const query::Query& initial, int depth_limit = 8);
+  /// `stats` (optional) reports failed hops and whether the set is complete.
+  std::vector<query::Query> search_all(const query::Query& initial, int depth_limit = 8,
+                                       SearchStats* stats = nullptr);
 
   /// Range search over an integer-valued field: both query logs the paper
   /// studies include publication-date intervals ("published before/after a
@@ -73,13 +94,19 @@ class LookupEngine {
                                          std::string_view field_path, long lo, long hi,
                                          int depth_limit = 8);
 
+  /// Maintenance sweep: drops every shortcut whose target MSD no longer has a
+  /// stored record on any replica (stale after crashes or removals). Returns
+  /// the number of shortcuts dropped. Traffic-free, like rebalance().
+  std::size_t purge_stale_shortcuts();
+
  private:
   /// Generalization candidates for a non-indexed query, best first: drop one
   /// top-level field group at a time, preferring to keep more constraints.
   static std::vector<query::Query> generalization_candidates(const query::Query& q);
 
   /// The index-walking part of search_all (no generalization fallback).
-  std::vector<query::Query> search_tree(const query::Query& initial, int depth_limit);
+  std::vector<query::Query> search_tree(const query::Query& initial, int depth_limit,
+                                        SearchStats* stats);
 
   void create_shortcuts(const std::vector<std::pair<Id, query::Query>>& asked,
                         const query::Query& target_msd);

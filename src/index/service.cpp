@@ -1,8 +1,39 @@
 #include "index/service.hpp"
 
+#include <algorithm>
+#include <set>
+
 #include "common/error.hpp"
 
 namespace dhtidx::index {
+
+std::vector<Id> IndexService::candidate_replicas(const Id& key) const {
+  std::size_t want = replication_;
+  if (failures_ != nullptr) want += failures_->crashed_count();
+  return dht_.replica_set(key, want);
+}
+
+bool IndexService::try_deliver(const Id& target, std::uint64_t request_bytes,
+                               int& rpc_failures) {
+  if (failures_ == nullptr) return true;
+  const std::size_t attempts = std::max<std::size_t>(retry_.attempts_per_replica, 1);
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    try {
+      failures_->check_delivery(target);
+      return true;
+    } catch (const net::RpcError&) {
+      // The attempt consumed the network even though it failed.
+      ++rpc_failures;
+      ledger_.retries.record(request_bytes);
+      const double backoff = retry_.backoff_before_retry(attempt);
+      if (backoff > 0.0) {
+        backoff_ms_ += backoff;
+        if (latency_ != nullptr) latency_->add_ms(backoff);
+      }
+    }
+  }
+  return false;
+}
 
 Id IndexService::insert(const query::Query& source, const query::Query& target,
                         std::uint64_t now) {
@@ -10,9 +41,29 @@ Id IndexService::insert(const query::Query& source, const query::Query& target,
     throw InvariantError("index mapping rejected: '" + source.canonical() +
                          "' does not cover '" + target.canonical() + "'");
   }
-  const Id node = dht_.lookup(source.key()).node;
-  state_at(node).add(source, target, now);
-  return node;
+  if (failures_ == nullptr && replication_ == 1) {
+    // Seed-identical fast path: one substrate lookup, one copy.
+    const Id node = dht_.lookup(source.key()).node;
+    state_at(node).add(source, target, now);
+    return node;
+  }
+  // PAST-style placement: the first `replication_` live candidates. The
+  // publisher discovers dead replicas by timeout and skips past them; as a
+  // build-time operation this costs no ledger traffic.
+  Id placed_on;
+  std::size_t placed = 0;
+  for (const Id& replica : candidate_replicas(source.key())) {
+    if (placed >= replication_) break;
+    if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
+    state_at(replica).add(source, target, now);
+    if (placed == 0) placed_on = replica;
+    ++placed;
+  }
+  if (placed == 0) {
+    throw InvariantError("index insert: no live replica for key of '" +
+                         source.canonical() + "'");
+  }
+  return placed_on;
 }
 
 std::size_t IndexService::expire(std::uint64_t cutoff) {
@@ -23,18 +74,97 @@ std::size_t IndexService::expire(std::uint64_t cutoff) {
 
 bool IndexService::remove(const query::Query& source, const query::Query& target,
                           bool& source_now_empty) {
-  const Id node = dht_.lookup(source.key()).node;
-  return state_at(node).remove(source, target, source_now_empty);
+  source_now_empty = false;
+  if (failures_ == nullptr && replication_ == 1) {
+    IndexNodeState* state = find_state(dht_.lookup(source.key()).node);
+    if (state == nullptr) return false;
+    return state->remove(source, target, source_now_empty);
+  }
+  bool removed_any = false;
+  bool any_left = false;
+  std::size_t visited = 0;
+  for (const Id& replica : candidate_replicas(source.key())) {
+    if (visited >= replication_) break;
+    if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
+    ++visited;
+    IndexNodeState* state = find_state(replica);
+    if (state == nullptr) continue;
+    bool empty_here = false;
+    if (state->remove(source, target, empty_here)) removed_any = true;
+    if (state->has_source(source)) any_left = true;
+  }
+  source_now_empty = removed_any && !any_left;
+  return removed_any;
+}
+
+IndexService::ContactResult IndexService::contact(const query::Query& q,
+                                                  bool consider_cache) {
+  const Id key = q.key();
+  const dht::LookupResult primary = dht_.lookup(key);
+  ContactResult result;
+  result.node = primary.node;
+  result.hops = primary.hops;
+  const std::uint64_t request_bytes = q.byte_size() + net::kMessageOverheadBytes;
+
+  if (failures_ == nullptr && replication_ == 1) {
+    // Seed-identical fast path: one substrate lookup, one query message, the
+    // responsible node answers whatever it has.
+    ledger_.queries.record(request_bytes);
+    result.replicas_tried = 1;
+    result.state = find_state(primary.node);
+    return result;
+  }
+
+  // Walk the widened candidate list in placement order, discovering liveness
+  // one delivery at a time. Stop at the first replica that can actually serve
+  // q (index entries, or shortcuts when the caller consults the cache), or
+  // after `replication_` live replicas all turned out empty -- further
+  // candidates hold no copy by the placement rule.
+  IndexNodeState* first_state = nullptr;
+  Id first_node = primary.node;
+  bool have_first = false;
+  std::size_t contacted = 0;
+  for (const Id& replica : candidate_replicas(key)) {
+    if (contacted >= replication_) break;
+    if (!try_deliver(replica, request_bytes, result.rpc_failures)) continue;
+    ++contacted;
+    ledger_.queries.record(request_bytes);
+    IndexNodeState* state = find_state(replica);
+    const bool useful =
+        state != nullptr &&
+        (state->has_source(q) || (consider_cache && !state->cache().find(q).empty()));
+    if (useful) {
+      result.state = state;
+      result.node = replica;
+      result.replicas_tried = static_cast<int>(contacted);
+      return result;
+    }
+    if (!have_first) {
+      have_first = true;
+      first_node = replica;
+      first_state = state;
+    }
+  }
+  result.replicas_tried = static_cast<int>(contacted);
+  if (contacted == 0) {
+    result.unreachable = true;
+    return result;
+  }
+  result.node = first_node;
+  result.state = first_state;
+  return result;
 }
 
 IndexService::Reply IndexService::lookup(const query::Query& q) {
-  const dht::LookupResult where = dht_.lookup(q.key());
-  ledger_.queries.record(q.byte_size() + net::kMessageOverheadBytes);
-  const IndexNodeState& state = state_at(where.node);
+  const ContactResult contacted = contact(q, /*consider_cache=*/false);
   Reply reply;
-  reply.node = where.node;
-  reply.hops = where.hops;
-  reply.targets = state.targets_of(q);
+  reply.node = contacted.node;
+  reply.hops = contacted.hops;
+  reply.rpc_failures = contacted.rpc_failures;
+  reply.replicas_tried = contacted.replicas_tried;
+  reply.unreachable = contacted.unreachable;
+  if (contacted.unreachable) return reply;
+  if (contacted.state != nullptr) reply.targets = contacted.state->targets_of(q);
   std::uint64_t response_bytes = net::kMessageOverheadBytes;
   for (const query::Query& t : reply.targets) response_bytes += t.byte_size();
   ledger_.responses.record(response_bytes);
@@ -45,6 +175,114 @@ IndexNodeState& IndexService::state_at(const Id& node) {
   const auto it = states_.find(node);
   if (it != states_.end()) return it->second;
   return states_.emplace(node, IndexNodeState{cache_capacity_}).first->second;
+}
+
+IndexNodeState* IndexService::find_state(const Id& node) {
+  const auto it = states_.find(node);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+const IndexNodeState* IndexService::find_state(const Id& node) const {
+  const auto it = states_.find(node);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+std::size_t IndexService::drop_node(const Id& node) {
+  const auto it = states_.find(node);
+  if (it == states_.end()) return 0;
+  const std::size_t lost = it->second.mapping_count();
+  states_.erase(it);
+  return lost;
+}
+
+std::size_t IndexService::rebalance() {
+  std::size_t changed = 0;
+  std::set<Id> members;
+  for (const Id& id : dht_.node_ids()) members.insert(id);
+
+  const auto is_dead = [&](const Id& node) {
+    return failures_ != nullptr && failures_->is_crashed(node);
+  };
+
+  // Pass 1: migrate mappings stranded on nodes outside their source key's
+  // replica set onto the current (live) replica set, keeping the freshest
+  // stamp. Collect first -- placement mutates states_.
+  struct Move {
+    Id from;
+    query::Query source;
+    query::Query target;
+    std::uint64_t stamp;
+  };
+  std::vector<Move> moves;
+  for (const auto& [node, state] : states_) {
+    for (const auto& [canonical, entry] : state.entries()) {
+      const std::vector<Id> replicas = dht_.replica_set(entry.first.key(), replication_);
+      if (std::find(replicas.begin(), replicas.end(), node) != replicas.end()) continue;
+      for (const query::Query& target : entry.second) {
+        const auto stamp = state.refresh_stamp(entry.first, target);
+        moves.push_back({node, entry.first, target, stamp.value_or(0)});
+      }
+    }
+  }
+  for (const Move& move : moves) {
+    bool unused = false;
+    if (IndexNodeState* from = find_state(move.from); from != nullptr) {
+      from->remove(move.source, move.target, unused);
+    }
+    for (const Id& replica : dht_.replica_set(move.source.key(), replication_)) {
+      if (is_dead(replica)) continue;
+      IndexNodeState& state = state_at(replica);
+      const auto existing = state.refresh_stamp(move.source, move.target);
+      if (!existing || *existing < move.stamp) {
+        state.add(move.source, move.target, move.stamp);
+        ++changed;
+      }
+    }
+  }
+
+  // Departed nodes lose their whole partition (shortcut caches included)
+  // once their mappings have migrated.
+  for (auto it = states_.begin(); it != states_.end();) {
+    if (!members.contains(it->first) && it->second.mapping_count() == 0) {
+      it = states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Pass 2: replica repair -- every mapping present on all of its replicas
+  // with identical stamps (the max across surviving copies wins).
+  if (replication_ > 1) {
+    struct Fact {
+      query::Query source;
+      query::Query target;
+      std::uint64_t stamp;
+    };
+    std::map<std::string, Fact> facts;
+    for (const auto& [node, state] : states_) {
+      for (const auto& [canonical, entry] : state.entries()) {
+        for (const query::Query& target : entry.second) {
+          const std::uint64_t stamp =
+              state.refresh_stamp(entry.first, target).value_or(0);
+          const std::string key = canonical + '\x1f' + target.canonical();
+          auto [it, inserted] = facts.try_emplace(key, Fact{entry.first, target, stamp});
+          if (!inserted && it->second.stamp < stamp) it->second.stamp = stamp;
+        }
+      }
+    }
+    for (const auto& [key, fact] : facts) {
+      for (const Id& replica : dht_.replica_set(fact.source.key(), replication_)) {
+        if (is_dead(replica)) continue;
+        IndexNodeState& state = state_at(replica);
+        const auto existing = state.refresh_stamp(fact.source, fact.target);
+        if (!existing || *existing != fact.stamp) {
+          state.add(fact.source, fact.target, fact.stamp);
+          ++changed;
+        }
+      }
+    }
+  }
+  return changed;
 }
 
 IndexService::Totals IndexService::totals() const {

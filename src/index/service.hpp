@@ -4,12 +4,22 @@
 // service. insert(q, qi) requires q ⊒ qi -- the covering check is enforced
 // here, which is what makes the index "resilient to arbitrary linking"
 // (Section IV-D): a file can only be indexed under queries that cover it.
+//
+// Fault tolerance (Section IV-D: the index "benefits from the mechanisms
+// implemented by the DHT substrate ... such as data replication"): mappings
+// are placed PAST-style on the first `replication` live nodes of the key's
+// substrate replica set, lookups fail over across surviving replicas under a
+// RetryPolicy, and rebalance() migrates/repairs entries after churn the same
+// way DhtStore::rebalance does for stored records.
 #pragma once
 
 #include <map>
 
 #include "dht/dht.hpp"
 #include "index/node_state.hpp"
+#include "net/failure.hpp"
+#include "net/latency.hpp"
+#include "net/retry.hpp"
 #include "net/stats.hpp"
 #include "query/query.hpp"
 
@@ -19,32 +29,59 @@ namespace dhtidx::index {
 class IndexService {
  public:
   /// `dht` and `ledger` must outlive the service. `cache_capacity` sizes the
-  /// per-node shortcut caches (0 = unbounded).
-  IndexService(dht::Dht& dht, net::TrafficLedger& ledger, std::size_t cache_capacity = 0)
-      : dht_(dht), ledger_(ledger), cache_capacity_(cache_capacity) {}
+  /// per-node shortcut caches (0 = unbounded). `replication` is the number of
+  /// copies kept of every mapping (1 = the paper's single-copy baseline).
+  IndexService(dht::Dht& dht, net::TrafficLedger& ledger, std::size_t cache_capacity = 0,
+               std::size_t replication = 1)
+      : dht_(dht),
+        ledger_(ledger),
+        cache_capacity_(cache_capacity),
+        replication_(replication == 0 ? 1 : replication) {}
 
-  /// Registers the mapping (source ; target) on the node responsible for
+  /// Registers the mapping (source ; target) on the live replica set of
   /// h(source). Throws InvariantError when source does not cover target.
   /// Build-time operation: does not count into the per-query traffic ledger.
   /// `now` is the publisher's logical time: re-inserting refreshes the
-  /// mapping's soft-state stamp. Returns the node that stores the mapping.
+  /// mapping's soft-state stamp. Returns the first node that stores the
+  /// mapping (the live primary).
   Id insert(const query::Query& source, const query::Query& target, std::uint64_t now = 0);
 
   /// Drops every mapping whose refresh stamp is older than `cutoff` on every
   /// node (soft-state expiry). Returns the number of mappings removed.
   std::size_t expire(std::uint64_t cutoff);
 
-  /// Removes a mapping; `source_now_empty` reports whether this was the last
-  /// mapping under the source key (triggering recursive cleanup upstream).
+  /// Removes a mapping from every live replica; `source_now_empty` reports
+  /// whether this was the last mapping under the source key (triggering
+  /// recursive cleanup upstream).
   bool remove(const query::Query& source, const query::Query& target,
               bool& source_now_empty);
 
+  /// One failover contact with the replica set of h(q): the responsible node
+  /// first, then surviving replicas, each under the retry policy. `state` is
+  /// the partition of the node that answered (nullptr when the node holds no
+  /// index state) -- never created as a side effect of reading. Records one
+  /// query message per delivered attempt and each failed attempt as retry
+  /// traffic; backoff is charged to the latency model as virtual time.
+  struct ContactResult {
+    IndexNodeState* state = nullptr;
+    Id node;
+    int hops = 0;
+    int rpc_failures = 0;     ///< delivery attempts that failed
+    int replicas_tried = 0;   ///< replicas successfully contacted
+    bool unreachable = false; ///< no replica answered within the budget
+  };
+  ContactResult contact(const query::Query& q, bool consider_cache);
+
   /// The "lookup(q)" operation of Section IV: all queries qi with a mapping
-  /// (q ; qi) on the responsible node. Counts query/response traffic.
+  /// (q ; qi) on the responsible node (or, under failures, on the first
+  /// surviving replica that has them). Counts query/response traffic.
   struct Reply {
     std::vector<query::Query> targets;
     Id node;
     int hops = 0;
+    int rpc_failures = 0;
+    int replicas_tried = 0;
+    bool unreachable = false;
   };
   Reply lookup(const query::Query& q);
 
@@ -55,11 +92,49 @@ class IndexService {
   /// capacity).
   IndexNodeState& state_at(const Id& node);
 
+  /// Checked accessors: the node's partition, or nullptr when it has none.
+  /// Unlike state_at these never fabricate an empty node as a side effect of
+  /// reading (auditor/metrics paths must not grow the map they inspect).
+  IndexNodeState* find_state(const Id& node);
+  const IndexNodeState* find_state(const Id& node) const;
+
+  /// Discards a crashed node's whole partition (mappings and cache). Returns
+  /// the number of mappings lost. Ring membership is not touched: an
+  /// undetected crash leaves the node responsible until the DHT heals.
+  std::size_t drop_node(const Id& node);
+
+  /// Repairs placement after membership changes, mirroring
+  /// DhtStore::rebalance: (1) mappings stranded on nodes outside their source
+  /// key's replica set migrate to the current replica set (freshest stamp
+  /// wins), and empty partitions of departed nodes are dropped; (2) with
+  /// replication > 1, every mapping is copied to all of its replicas and
+  /// stamps are made identical (the max across copies). Returns the number
+  /// of copies created or refreshed. Maintenance operation: no traffic
+  /// accounted.
+  std::size_t rebalance();
+
   const std::map<Id, IndexNodeState>& states() const { return states_; }
   std::map<Id, IndexNodeState>& states() { return states_; }
 
   dht::Dht& dht() { return dht_; }
   net::TrafficLedger& ledger() { return ledger_; }
+
+  std::size_t replication() const { return replication_; }
+
+  /// Wires the failure injector consulted on every delivery (nullptr = the
+  /// network never fails, the seed behaviour).
+  void set_failures(net::FailureInjector* failures) { failures_ = failures; }
+  net::FailureInjector* failures() const { return failures_; }
+
+  void set_retry_policy(const net::RetryPolicy& policy) { retry_ = policy; }
+  const net::RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Latency model charged with retry backoff (nullptr = backoff only
+  /// accumulates in retry_backoff_ms()).
+  void set_latency(net::LatencyModel* latency) { latency_ = latency; }
+
+  /// Total virtual backoff time spent waiting between retries.
+  double retry_backoff_ms() const { return backoff_ms_; }
 
   /// Aggregate statistics over all node states.
   struct Totals {
@@ -72,9 +147,24 @@ class IndexService {
   Totals totals() const;
 
  private:
+  /// Replica candidates for `key`: the replica set widened by the number of
+  /// crashed nodes, so `replication_` live placements remain reachable while
+  /// crashes go undetected by the substrate.
+  std::vector<Id> candidate_replicas(const Id& key) const;
+
+  /// Attempts delivery to `target` under the retry policy. Returns true when
+  /// a delivery got through; each failed attempt counts into `rpc_failures`
+  /// and the retry ledger, and backoff is charged as virtual latency.
+  bool try_deliver(const Id& target, std::uint64_t request_bytes, int& rpc_failures);
+
   dht::Dht& dht_;
   net::TrafficLedger& ledger_;
   std::size_t cache_capacity_;
+  std::size_t replication_;
+  net::FailureInjector* failures_ = nullptr;
+  net::LatencyModel* latency_ = nullptr;
+  net::RetryPolicy retry_;
+  double backoff_ms_ = 0.0;
   std::map<Id, IndexNodeState> states_;
 };
 

@@ -2,9 +2,12 @@
 //
 // Nodes can be marked crashed (RPCs to them fail fast) and links can drop
 // messages with a configured probability. The Chord layer uses this to
-// exercise its successor-list repair paths under churn.
+// exercise its successor-list repair paths under churn, and the index layer
+// uses it to drive replica failover. Tests that need an exact failure at an
+// exact point script it with fail_next() instead of relying on drop luck.
 #pragma once
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/error.hpp"
@@ -32,8 +35,30 @@ class FailureInjector {
 
   void set_drop_probability(double p) { drop_probability_ = p; }
 
+  /// Scripts the next `n` deliveries to `target` to fail deterministically.
+  /// Scripted failures are checked before the drop-probability coin flip and
+  /// consume no RNG draws, so interleaving them with probabilistic drops does
+  /// not perturb the shared random stream (replays stay bit-identical).
+  void fail_next(const Id& target, std::size_t n) {
+    if (n == 0) {
+      scripted_.erase(target);
+    } else {
+      scripted_[target] = n;
+    }
+  }
+
+  /// Remaining scripted failures for `target`.
+  std::size_t scripted_failures(const Id& target) const {
+    const auto it = scripted_.find(target);
+    return it == scripted_.end() ? 0 : it->second;
+  }
+
   /// Throws RpcError when the message to `target` should not be delivered.
   void check_delivery(const Id& target) {
+    if (const auto it = scripted_.find(target); it != scripted_.end()) {
+      if (--it->second == 0) scripted_.erase(it);
+      throw RpcError("scripted failure for " + target.brief());
+    }
     if (crashed_.contains(target)) {
       throw RpcError("node " + target.brief() + " is down");
     }
@@ -44,6 +69,7 @@ class FailureInjector {
 
  private:
   std::unordered_set<Id, IdHasher> crashed_;
+  std::unordered_map<Id, std::size_t, IdHasher> scripted_;
   Rng rng_;
   double drop_probability_;
 };

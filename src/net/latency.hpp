@@ -32,6 +32,9 @@ class LatencyModel {
   /// Samples one hop and adds it to the accumulated virtual time.
   double sample_hop_ms();
 
+  /// Adds a fixed amount of virtual time (retry backoff, timeouts).
+  void add_ms(double ms) { elapsed_ms_ += ms; }
+
   double elapsed_ms() const { return elapsed_ms_; }
   void reset_elapsed() { elapsed_ms_ = 0.0; }
 

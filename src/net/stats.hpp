@@ -42,15 +42,19 @@ struct TrafficLedger {
   TrafficStats responses;  ///< index/result responses ("normal" traffic)
   TrafficStats cache;      ///< shortcut-creation traffic
   TrafficStats routing;    ///< DHT substrate routing messages
+  TrafficStats retries;    ///< failed delivery attempts repeated under RetryPolicy
 
   std::uint64_t normal_bytes() const { return queries.bytes() + responses.bytes(); }
-  std::uint64_t total_bytes() const { return normal_bytes() + cache.bytes() + routing.bytes(); }
+  std::uint64_t total_bytes() const {
+    return normal_bytes() + cache.bytes() + routing.bytes() + retries.bytes();
+  }
 
   void reset() {
     queries.reset();
     responses.reset();
     cache.reset();
     routing.reset();
+    retries.reset();
   }
 };
 

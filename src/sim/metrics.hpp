@@ -61,6 +61,28 @@ struct SimulationResults {
   double avg_routing_hops_per_lookup = 0.0;
   std::uint64_t routing_bytes = 0;
 
+  // Availability under churn (all zero / 1.0 when churn is disabled).
+  std::size_t replication = 1;          ///< configured index/store copies
+  std::size_t crashed_nodes = 0;        ///< nodes crashed at the churn point
+  std::size_t joined_nodes = 0;         ///< nodes joined at the churn point
+  std::size_t mappings_lost = 0;        ///< index mappings on crashed disks
+  std::size_t records_lost = 0;         ///< stored records on crashed disks
+  std::size_t sessions_after_churn = 0;
+  std::size_t failed_after_churn = 0;
+  std::size_t indexed_sessions_after_churn = 0;  ///< entry query was indexed
+  std::size_t indexed_failed_after_churn = 0;
+  double post_churn_success = 1.0;          ///< over all post-churn sessions
+  double post_churn_indexed_success = 1.0;  ///< over indexed-entry sessions
+  double avg_interactions_after_churn = 0.0;
+  std::uint64_t rpc_failures = 0;       ///< failed delivery attempts, whole feed
+  std::size_t degraded_sessions = 0;    ///< sessions that saw a failed attempt
+  std::size_t gave_up_sessions = 0;     ///< interaction budget exhausted
+  std::size_t unreachable_sessions = 0; ///< a key had no reachable replica
+  std::size_t stale_shortcut_invalidations = 0;  ///< dropped on failed jumps
+  double retry_backoff_ms = 0.0;        ///< virtual time spent in backoff
+  std::size_t repair_moves = 0;         ///< entries/records repaired at end
+  std::size_t republish_rounds = 0;
+
   // Raw traffic ledger for the query phase.
   net::TrafficLedger ledger;
 };

@@ -69,9 +69,22 @@ SimulationResults run_simulation(const SimulationConfig& config,
       break;
   }
   dht::Dht& ring = *substrate;
+  if (config.churn.enabled() && config.substrate != Substrate::kRing) {
+    throw InvariantError(
+        "churn simulation requires the ring substrate (chord/can/pastry have "
+        "protocol-level failure handling of their own)");
+  }
   net::TrafficLedger ledger;
-  storage::DhtStore store{ring, ledger};
-  index::IndexService service{ring, ledger, config.cache_capacity};
+  storage::DhtStore store{ring, ledger, config.replication};
+  index::IndexService service{ring, ledger, config.cache_capacity, config.replication};
+  std::optional<net::FailureInjector> injector;
+  if (config.churn.enabled()) {
+    injector.emplace(config.seed ^ 0xFA11C0DEull);
+    service.set_failures(&*injector);
+    store.set_failures(&*injector);
+    service.set_retry_policy(config.retry);
+    store.set_retry_policy(config.retry);
+  }
   index::IndexBuilder builder{service, store, index::IndexingScheme::make(config.scheme)};
 
   for (const biblio::Article& article : corpus.articles()) {
@@ -114,7 +127,58 @@ SimulationResults run_simulation(const SimulationConfig& config,
   std::uint64_t first_node_hits = 0;
   std::map<Id, std::uint64_t> node_touches;
 
+  // --- churn schedule --------------------------------------------------------
+  const bool churn_enabled = config.churn.enabled();
+  const std::size_t crash_at =
+      churn_enabled ? static_cast<std::size_t>(static_cast<double>(config.queries) *
+                                               config.churn.crash_point)
+                    : config.queries;
+  bool churned = false;
+  std::vector<Id> crashed_ids;
+  std::uint64_t post_churn_interactions = 0;
+  const auto republish_all = [&](std::uint64_t now) {
+    for (const biblio::Article& article : corpus.articles()) {
+      const std::string name = article.file_name();
+      builder.republish(article.descriptor(), now, &name, article.file_bytes);
+    }
+  };
+
   for (std::size_t i = 0; i < config.queries; ++i) {
+    if (churn_enabled && !churned && i >= crash_at) {
+      // Crash a deterministic sample of nodes: their disks (index partition
+      // and record store) are gone and RPCs to them fail. Ring membership is
+      // left untouched -- the failures are undetected by the substrate, which
+      // is exactly what replica failover has to survive.
+      Rng churn_rng{config.seed ^ 0x0c11a05ull};
+      std::vector<Id> members = ring.node_ids();
+      std::sort(members.begin(), members.end());
+      const std::size_t to_crash = static_cast<std::size_t>(
+          config.churn.crash_fraction * static_cast<double>(members.size()));
+      for (std::size_t k = 0; k < to_crash && !members.empty(); ++k) {
+        const std::size_t pick = churn_rng.next_index(members.size());
+        const Id victim = members[pick];
+        members.erase(members.begin() + static_cast<std::ptrdiff_t>(pick));
+        injector->crash(victim);
+        r.mappings_lost += service.drop_node(victim);
+        r.records_lost += store.drop_node(victim);
+        crashed_ids.push_back(victim);
+      }
+      r.crashed_nodes = crashed_ids.size();
+      for (std::size_t j = 0; j < config.churn.joins; ++j) {
+        ring_substrate->add(Id::hash("joined-" + std::to_string(j)));
+      }
+      r.joined_nodes = config.churn.joins;
+      injector->set_drop_probability(config.churn.drop_probability);
+      churned = true;
+    }
+    if (churned && config.churn.republish_interval != 0 && i > crash_at &&
+        (i - crash_at) % config.churn.republish_interval == 0) {
+      // Publisher soft-state refresh: re-announce records and mappings so
+      // copies lost in the crash are re-created on the surviving replicas.
+      republish_all(i);
+      ++r.republish_rounds;
+    }
+
     const workload::Request request = generator.next();
     const query::Query target = corpus.article(request.article_index).msd();
     const index::LookupOutcome outcome = engine.resolve(request.query, target);
@@ -126,6 +190,20 @@ SimulationResults run_simulation(const SimulationConfig& config,
     if (outcome.cache_hit) {
       ++hits;
       if (outcome.cache_hit_position == 1) ++first_node_hits;
+    }
+    r.rpc_failures += static_cast<std::uint64_t>(outcome.rpc_failures);
+    if (outcome.degraded) ++r.degraded_sessions;
+    if (outcome.gave_up) ++r.gave_up_sessions;
+    if (outcome.unreachable) ++r.unreachable_sessions;
+    r.stale_shortcut_invalidations += static_cast<std::size_t>(outcome.stale_shortcuts);
+    if (churned) {
+      ++r.sessions_after_churn;
+      post_churn_interactions += static_cast<std::uint64_t>(outcome.interactions);
+      if (!outcome.found) ++r.failed_after_churn;
+      if (!outcome.non_indexed) {
+        ++r.indexed_sessions_after_churn;
+        if (!outcome.found) ++r.indexed_failed_after_churn;
+      }
     }
     std::set<Id> unique_nodes(outcome.visited_nodes.begin(), outcome.visited_nodes.end());
     for (const Id& node : unique_nodes) ++node_touches[node];
@@ -142,6 +220,20 @@ SimulationResults run_simulation(const SimulationConfig& config,
       hits == 0 ? 0.0 : static_cast<double>(first_node_hits) / static_cast<double>(hits);
   r.ledger = ledger;
 
+  // Availability under churn.
+  r.replication = config.replication;
+  r.retry_backoff_ms = service.retry_backoff_ms();
+  if (r.sessions_after_churn > 0) {
+    const double sessions = static_cast<double>(r.sessions_after_churn);
+    r.post_churn_success = 1.0 - static_cast<double>(r.failed_after_churn) / sessions;
+    r.avg_interactions_after_churn = static_cast<double>(post_churn_interactions) / sessions;
+  }
+  if (r.indexed_sessions_after_churn > 0) {
+    r.post_churn_indexed_success =
+        1.0 - static_cast<double>(r.indexed_failed_after_churn) /
+                  static_cast<double>(r.indexed_sessions_after_churn);
+  }
+
   // Cache occupancy across *all* nodes, including ones that never stored a
   // shortcut (the paper reports 4.4% completely empty caches).
   std::uint64_t cached_total = 0;
@@ -151,8 +243,9 @@ SimulationResults run_simulation(const SimulationConfig& config,
   const std::vector<Id> nodes = ring.node_ids();
   for (const Id& node : nodes) {
     std::size_t size = 0;
-    const auto it = service.states().find(node);
-    if (it != service.states().end()) size = it->second.cache().size();
+    if (const index::IndexNodeState* state = service.find_state(node); state != nullptr) {
+      size = state->cache().size();
+    }
     cached_total += size;
     max_cached = std::max(max_cached, size);
     if (size == 0) ++empty;
@@ -198,6 +291,23 @@ SimulationResults run_simulation(const SimulationConfig& config,
   }
   std::sort(r.node_load_fractions.begin(), r.node_load_fractions.end(), std::greater<>());
 
+  // --- repair ----------------------------------------------------------------
+  // After the measured feed: the substrate finally detects the crashes,
+  // membership is cleaned up, placement is rebalanced and publishers
+  // re-announce, so the post-run audit checks a repaired, replica-consistent
+  // world. (All maintenance traffic, not part of the measurements above.)
+  if (churned && config.churn.repair_at_end) {
+    injector->set_drop_probability(0.0);
+    for (const Id& dead : crashed_ids) {
+      ring_substrate->remove(dead);
+      injector->recover(dead);
+    }
+    r.repair_moves += store.rebalance();
+    r.repair_moves += service.rebalance();
+    republish_all(config.queries);
+    engine.purge_stale_shortcuts();
+  }
+
 #ifdef DHTIDX_AUDIT
   // Phase boundary: the query feed is done and every metric collected. For a
   // SweepRunner sweep this is the end-of-cell audit -- the whole world is
@@ -212,6 +322,12 @@ std::string config_label(const SimulationConfig& config) {
   std::string label = index::to_string(config.scheme) + "/" + index::to_string(config.policy);
   if (index::bounded_cache(config.policy)) {
     label += " " + std::to_string(config.cache_capacity);
+  }
+  if (config.replication > 1) {
+    label += " r" + std::to_string(config.replication);
+  }
+  if (config.churn.enabled()) {
+    label += " churn";
   }
   return label;
 }

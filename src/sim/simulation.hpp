@@ -15,6 +15,7 @@
 #include "biblio/corpus.hpp"
 #include "index/builder.hpp"
 #include "index/lookup.hpp"
+#include "net/retry.hpp"
 #include "sim/metrics.hpp"
 
 namespace dhtidx::sim {
@@ -23,6 +24,29 @@ namespace dhtidx::sim {
 /// is that this does not affect any indexing metric; kChord exists to verify
 /// that and to measure substrate routing cost.
 enum class Substrate { kRing, kChord, kCan, kPastry };
+
+/// Mid-run failure schedule (all off by default -- the paper's failure-free
+/// runs). At the crash point a deterministic sample of nodes loses its disk
+/// and stops answering (the substrate does not notice: lookups fail over to
+/// surviving replicas), fresh nodes may join, and links may start dropping
+/// messages. Only the Ring substrate supports churn runs; ChordNetwork has
+/// its own protocol-level churn tests.
+struct ChurnConfig {
+  double crash_fraction = 0.0;    ///< fraction of nodes crashed at the point
+  std::size_t joins = 0;          ///< fresh nodes added at the point
+  double drop_probability = 0.0;  ///< per-message loss after the point
+  /// Queries between publisher soft-state refreshes after the crash point
+  /// (re-announce of records + index mappings); 0 = publishers never refresh.
+  std::size_t republish_interval = 0;
+  double crash_point = 0.5;       ///< position in the feed (fraction of queries)
+  /// Run rebalance() + a full republish after the feed so the post-run audit
+  /// sees a repaired, replica-consistent world.
+  bool repair_at_end = true;
+
+  bool enabled() const {
+    return crash_fraction > 0.0 || joins > 0 || drop_probability > 0.0;
+  }
+};
 
 /// Parameters of one run. Defaults are the paper's setup.
 struct SimulationConfig {
@@ -42,6 +66,16 @@ struct SimulationConfig {
 
   /// Query-structure weights; empty = paper defaults.
   std::vector<double> structure_weights;
+
+  /// Copies of every index mapping and stored record (1 = the paper's
+  /// single-copy baseline; >= 2 enables replica failover).
+  std::size_t replication = 1;
+
+  /// Retry budget for deliveries once failures are injected.
+  net::RetryPolicy retry;
+
+  /// Mid-run failure schedule; disabled by default.
+  ChurnConfig churn;
 };
 
 /// Runs one complete experiment and returns its measurements.

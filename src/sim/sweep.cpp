@@ -167,6 +167,33 @@ std::string json_summary(std::string_view bench_name, const SweepSummary& sweep)
     append_field(out, "avg_cached_keys_per_node", num(r.avg_cached_keys_per_node), false);
     append_field(out, "non_indexed_queries", std::to_string(r.non_indexed_queries), false);
     append_field(out, "failed_lookups", std::to_string(r.failed_lookups), false);
+    append_field(out, "replication", std::to_string(cell.config.replication), false);
+    if (cell.config.churn.enabled()) {
+      append_field(out, "crashed_nodes", std::to_string(r.crashed_nodes), false);
+      append_field(out, "joined_nodes", std::to_string(r.joined_nodes), false);
+      append_field(out, "sessions_after_churn", std::to_string(r.sessions_after_churn),
+                   false);
+      append_field(out, "post_churn_success", num(r.post_churn_success), false);
+      append_field(out, "post_churn_indexed_success", num(r.post_churn_indexed_success),
+                   false);
+      append_field(out, "avg_interactions_after_churn",
+                   num(r.avg_interactions_after_churn), false);
+      append_field(out, "rpc_failures", std::to_string(r.rpc_failures), false);
+      append_field(out, "degraded_sessions", std::to_string(r.degraded_sessions), false);
+      append_field(out, "gave_up_sessions", std::to_string(r.gave_up_sessions), false);
+      append_field(out, "unreachable_sessions", std::to_string(r.unreachable_sessions),
+                   false);
+      append_field(out, "stale_shortcut_invalidations",
+                   std::to_string(r.stale_shortcut_invalidations), false);
+      append_field(out, "retry_messages", std::to_string(r.ledger.retries.messages()),
+                   false);
+      append_field(out, "retry_bytes", std::to_string(r.ledger.retries.bytes()), false);
+      append_field(out, "retry_backoff_ms", num(r.retry_backoff_ms), false);
+      append_field(out, "mappings_lost", std::to_string(r.mappings_lost), false);
+      append_field(out, "records_lost", std::to_string(r.records_lost), false);
+      append_field(out, "republish_rounds", std::to_string(r.republish_rounds), false);
+      append_field(out, "repair_moves", std::to_string(r.repair_moves), false);
+    }
     out.push_back('}');
   }
   out += "]}";

@@ -5,39 +5,86 @@
 
 namespace dhtidx::storage {
 
+namespace {
+const std::vector<Record> kNoRecords;
+}
+
+std::vector<Id> DhtStore::candidate_replicas(const Id& key) {
+  std::size_t want = replication_;
+  if (failures_ != nullptr) want += failures_->crashed_count();
+  return dht_.replica_set(key, want);
+}
+
+bool DhtStore::try_deliver(const Id& target, std::uint64_t request_bytes,
+                           int& rpc_failures) {
+  if (failures_ == nullptr) return true;
+  const std::size_t attempts = std::max<std::size_t>(retry_.attempts_per_replica, 1);
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    try {
+      failures_->check_delivery(target);
+      return true;
+    } catch (const net::RpcError&) {
+      ++rpc_failures;
+      ledger_.retries.record(request_bytes);
+      const double backoff = retry_.backoff_before_retry(attempt);
+      if (backoff > 0.0 && latency_ != nullptr) latency_->add_ms(backoff);
+    }
+  }
+  return false;
+}
+
+const std::vector<Record>& DhtStore::records_at(const Id& node, const Id& key) const {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? kNoRecords : it->second.get(key);
+}
+
 StoreResult DhtStore::put(const Id& key, Record record) {
   const dht::LookupResult where = dht_.lookup(key);
   const std::uint64_t request_bytes =
       Id::kBytes + record.kind.size() + record.payload.size() + net::kMessageOverheadBytes;
-  if (replication_ == 1) {
+  if (replication_ == 1 && failures_ == nullptr) {
     ledger_.queries.record(request_bytes);
     stores_[where.node].put(key, std::move(record));
     return StoreResult{where.node, where.hops};
   }
-  for (const Id& replica : dht_.replica_set(key, replication_)) {
+  // PAST-style placement on the first `replication_` live candidates; the
+  // publisher discovers dead nodes by timeout and skips past them.
+  std::size_t placed = 0;
+  for (const Id& replica : candidate_replicas(key)) {
+    if (placed >= replication_) break;
+    if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
     ledger_.queries.record(request_bytes);
     stores_[replica].put(key, record);
+    ++placed;
   }
   return StoreResult{where.node, where.hops};
 }
 
 DhtStore::GetResult DhtStore::get(const Id& key) {
   GetResult result;
-  const std::vector<Id> replicas =
-      replication_ == 1 ? std::vector<Id>{dht_.lookup(key).node}
-                        : dht_.replica_set(key, replication_);
-  result.hops = dht_.lookup(key).hops;
+  const dht::LookupResult where = dht_.lookup(key);
+  result.node = where.node;
+  result.hops = where.hops;
   result.replicas_tried = 0;
+  const std::uint64_t request_bytes = Id::kBytes + net::kMessageOverheadBytes;
   const std::vector<Record>* found = nullptr;
-  for (const Id& replica : replicas) {
-    ++result.replicas_tried;
-    ledger_.queries.record(Id::kBytes + net::kMessageOverheadBytes);
-    const std::vector<Record>& records = stores_[replica].get(key);
+  std::size_t contacted = 0;
+  for (const Id& replica : candidate_replicas(key)) {
+    if (contacted >= replication_) break;
+    if (!try_deliver(replica, request_bytes, result.rpc_failures)) continue;
+    ++contacted;
+    ledger_.queries.record(request_bytes);
+    const std::vector<Record>& records = records_at(replica, key);
     result.node = replica;
-    if (!records.empty() || result.replicas_tried == static_cast<int>(replicas.size())) {
-      found = &records;
-      break;
-    }
+    found = &records;
+    if (!records.empty()) break;
+  }
+  result.replicas_tried = static_cast<int>(contacted);
+  if (contacted == 0) {
+    // Nobody answered: no response message, the requester times out.
+    result.unreachable = true;
+    result.records = &kNoRecords;
+    return result;
   }
   std::uint64_t response_bytes = net::kMessageOverheadBytes;
   for (const Record& r : *found) {
@@ -53,19 +100,69 @@ DhtStore::GetResult DhtStore::get(const Id& key) {
 DhtStore::RemoveResult DhtStore::remove(const Id& key, const Record& record) {
   const dht::LookupResult where = dht_.lookup(key);
   RemoveResult result{where.node, false, where.hops};
-  const std::vector<Id> replicas =
-      replication_ == 1 ? std::vector<Id>{where.node}
-                        : dht_.replica_set(key, replication_);
-  for (const Id& replica : replicas) {
+  if (replication_ == 1 && failures_ == nullptr) {
     ledger_.queries.record(Id::kBytes + record.kind.size() + record.payload.size() +
                            net::kMessageOverheadBytes);
-    result.removed = stores_[replica].remove(key, record) || result.removed;
+    if (NodeStore* store = find_node_store(where.node); store != nullptr) {
+      result.removed = store->remove(key, record);
+    }
+    return result;
+  }
+  std::size_t visited = 0;
+  for (const Id& replica : candidate_replicas(key)) {
+    if (visited >= replication_) break;
+    if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
+    ++visited;
+    ledger_.queries.record(Id::kBytes + record.kind.size() + record.payload.size() +
+                           net::kMessageOverheadBytes);
+    if (NodeStore* store = find_node_store(replica); store != nullptr) {
+      result.removed = store->remove(key, record) || result.removed;
+    }
   }
   return result;
 }
 
+std::size_t DhtStore::ensure(const Id& key, const Record& record) {
+  std::size_t created = 0;
+  std::size_t placed = 0;
+  for (const Id& replica : candidate_replicas(key)) {
+    if (placed >= replication_) break;
+    if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
+    ++placed;
+    const std::vector<Record>& existing = records_at(replica, key);
+    if (std::find(existing.begin(), existing.end(), record) != existing.end()) continue;
+    stores_[replica].put(key, record);
+    ++created;
+  }
+  return created;
+}
+
+bool DhtStore::has_record(const Id& key) {
+  std::size_t checked = 0;
+  for (const Id& replica : candidate_replicas(key)) {
+    if (checked >= replication_) break;
+    if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
+    ++checked;
+    if (!records_at(replica, key).empty()) return true;
+  }
+  return false;
+}
+
+NodeStore* DhtStore::find_node_store(const Id& node) {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
+const NodeStore* DhtStore::find_node_store(const Id& node) const {
+  const auto it = stores_.find(node);
+  return it == stores_.end() ? nullptr : &it->second;
+}
+
 std::size_t DhtStore::rebalance() {
   std::size_t moved = 0;
+  const auto is_dead = [&](const Id& node) {
+    return failures_ != nullptr && failures_->is_crashed(node);
+  };
   // Two passes: compute misplaced records first, then move, so we never
   // invalidate iterators of the map we are walking.
   std::vector<std::pair<Id, Id>> moves;  // (from node, key)
@@ -78,7 +175,14 @@ std::size_t DhtStore::rebalance() {
     }
   }
   for (const auto& [from, key] : moves) {
-    const Id to = dht_.lookup(key).node;
+    // First live replica; with a clean membership this is the primary.
+    Id to = dht_.lookup(key).node;
+    for (const Id& replica : candidate_replicas(key)) {
+      if (!is_dead(replica)) {
+        to = replica;
+        break;
+      }
+    }
     NodeStore& source = stores_[from];
     NodeStore& destination = stores_[to];
     std::vector<Record> records = source.get(key);  // copy before erasing
@@ -101,8 +205,8 @@ std::size_t DhtStore::rebalance() {
     for (const auto& [node, store] : stores_) {
       for (const Id& key : store.keys()) {
         for (const Id& replica : dht_.replica_set(key, replication_)) {
-          if (replica == node) continue;
-          const std::vector<Record>& theirs = stores_[replica].get(key);
+          if (replica == node || is_dead(replica)) continue;
+          const std::vector<Record>& theirs = records_at(replica, key);
           for (const Record& r : store.get(key)) {
             if (std::find(theirs.begin(), theirs.end(), r) == theirs.end()) {
               copies.emplace_back(replica, r);

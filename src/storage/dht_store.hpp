@@ -3,12 +3,17 @@
 // Routes put/get/remove operations to the node responsible for each key
 // (resolved through any Dht implementation) and keeps one NodeStore per peer.
 // This is the "Publication index" of Figure 5: the raw key-to-data layer on
-// which the query indexes sit.
+// which the query indexes sit. With a FailureInjector wired in, operations
+// discover dead replicas by timeout (under a RetryPolicy) and fail over to
+// the surviving copies instead of throwing.
 #pragma once
 
 #include <map>
 
 #include "dht/dht.hpp"
+#include "net/failure.hpp"
+#include "net/latency.hpp"
+#include "net/retry.hpp"
 #include "net/stats.hpp"
 #include "storage/node_store.hpp"
 
@@ -33,22 +38,28 @@ class DhtStore {
 
   std::size_t replication() const { return replication_; }
 
-  /// Stores `record` at the responsible node (and its replicas).
+  /// Stores `record` at the responsible node (and its replicas). Under a
+  /// failure injector the copies land on the first `replication` live
+  /// candidates (PAST-style placement).
   StoreResult put(const Id& key, Record record);
 
   /// Fetches all records under `key`. The responsible node is asked first;
   /// when it has nothing (e.g. it lost its store in a crash), the remaining
-  /// replicas are tried in order, one extra request each.
+  /// replicas are tried in order, one extra request each. Failed deliveries
+  /// are retried per the retry policy and counted in `rpc_failures`;
+  /// `unreachable` is set when no replica answered at all.
   struct GetResult {
     const std::vector<Record>* records;  ///< never null; may be empty
     Id node;
     int hops = 0;
     int replicas_tried = 1;
+    int rpc_failures = 0;
+    bool unreachable = false;
   };
   GetResult get(const Id& key);
 
-  /// Removes one matching record. Returns the serving node and whether a
-  /// record was removed.
+  /// Removes one matching record from every live replica. Returns the
+  /// serving node and whether a record was removed.
   struct RemoveResult {
     Id node;
     bool removed = false;
@@ -56,8 +67,25 @@ class DhtStore {
   };
   RemoveResult remove(const Id& key, const Record& record);
 
+  /// Publisher re-announce (soft-state maintenance): re-creates the record
+  /// on every live replica that lacks it. Returns the number of copies
+  /// created. Maintenance operation: no ledger traffic, like rebalance().
+  std::size_t ensure(const Id& key, const Record& record);
+
+  /// True when any live replica of `key` holds at least one record.
+  /// Traffic-free maintenance read.
+  bool has_record(const Id& key);
+
   /// Direct access to a node's local store (metrics, tests, migration).
+  /// Creates an empty store when the node has none.
   NodeStore& node_store(const Id& node) { return stores_[node]; }
+
+  /// Checked accessors: the node's store, or nullptr when it has none.
+  /// Unlike node_store these never fabricate an empty node as a side effect
+  /// of reading (auditor/metrics paths must not grow the map they inspect).
+  NodeStore* find_node_store(const Id& node);
+  const NodeStore* find_node_store(const Id& node) const;
+
   const std::map<Id, NodeStore>& node_stores() const { return stores_; }
 
   /// Re-homes every record according to the current Dht membership: records
@@ -70,6 +98,16 @@ class DhtStore {
   /// readable from the other replicas.
   std::size_t drop_node(const Id& node);
 
+  /// Wires the failure injector consulted on every delivery (nullptr = the
+  /// network never fails, the seed behaviour).
+  void set_failures(net::FailureInjector* failures) { failures_ = failures; }
+  net::FailureInjector* failures() const { return failures_; }
+
+  void set_retry_policy(const net::RetryPolicy& policy) { retry_ = policy; }
+
+  /// Latency model charged with retry backoff (nullptr = none).
+  void set_latency(net::LatencyModel* latency) { latency_ = latency; }
+
   /// Total stored bytes across all nodes.
   std::uint64_t total_bytes() const;
 
@@ -77,9 +115,24 @@ class DhtStore {
   std::size_t total_records() const;
 
  private:
+  /// Replica candidates for `key`: the replica set widened by the number of
+  /// crashed nodes, so `replication_` live placements remain reachable while
+  /// crashes go undetected by the substrate.
+  std::vector<Id> candidate_replicas(const Id& key);
+
+  /// Attempts delivery to `target` under the retry policy (see
+  /// IndexService::try_deliver for the accounting contract).
+  bool try_deliver(const Id& target, std::uint64_t request_bytes, int& rpc_failures);
+
+  /// Records under `key` on `node` without creating the node's store.
+  const std::vector<Record>& records_at(const Id& node, const Id& key) const;
+
   dht::Dht& dht_;
   net::TrafficLedger& ledger_;
   std::size_t replication_;
+  net::FailureInjector* failures_ = nullptr;
+  net::LatencyModel* latency_ = nullptr;
+  net::RetryPolicy retry_;
   std::map<Id, NodeStore> stores_;
 };
 

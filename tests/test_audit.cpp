@@ -24,10 +24,10 @@ namespace {
 /// caches) whose internals tests corrupt one defect at a time.
 class CorruptibleSystem {
  public:
-  CorruptibleSystem()
+  explicit CorruptibleSystem(std::size_t replication = 1)
       : ring_(dht::Ring::with_nodes(16)),
-        store_(ring_, ledger_),
-        service_(ring_, ledger_, /*cache_capacity=*/4),
+        store_(ring_, ledger_, replication),
+        service_(ring_, ledger_, /*cache_capacity=*/4, replication),
         scheme_(index::IndexingScheme::simple()) {
     biblio::CorpusConfig config;
     config.articles = 60;
@@ -127,6 +127,30 @@ class CorruptibleSystem {
     service_.state_at(ring_.node_ids().front()).cache().insert(source, ghost);
   }
 
+  /// Replica consistency: delete one mapping from a single replica, leaving
+  /// the other copies intact (exactly what a lost write or missed repair
+  /// does). Requires replication >= 2.
+  void inject_replica_drift() {
+    const auto [source, target] = some_mapping();
+    const std::vector<Id> replicas =
+        ring_.replica_set(source.key(), service_.replication());
+    ASSERT_GE(replicas.size(), 2u);
+    bool source_now_empty = false;
+    ASSERT_TRUE(service_.state_at(replicas.back()).remove(source, target,
+                                                          source_now_empty));
+  }
+
+  /// Replica consistency: refresh one copy's soft-state stamp without
+  /// touching its siblings, so the copies disagree about freshness.
+  void inject_stamp_skew() {
+    const auto [source, target] = some_mapping();
+    const std::vector<Id> replicas =
+        ring_.replica_set(source.key(), service_.replication());
+    ASSERT_GE(replicas.size(), 2u);
+    // add() on an existing mapping only updates the stamp.
+    ASSERT_FALSE(service_.state_at(replicas.front()).add(source, target, 99999));
+  }
+
   /// Snapshot: the current system serialized, then cut off mid-document.
   std::string truncated_snapshot() {
     const std::string snapshot = persist::save_snapshot(service_, store_);
@@ -138,6 +162,16 @@ class CorruptibleSystem {
   storage::DhtStore& store() { return store_; }
 
  private:
+  /// An arbitrary existing mapping (the first one in node order).
+  std::pair<query::Query, query::Query> some_mapping() {
+    for (const auto& [node, state] : service_.states()) {
+      for (const auto& [canonical, entry] : state.entries()) {
+        if (!entry.second.empty()) return {entry.first, entry.second.front()};
+      }
+    }
+    throw InvariantError("no mapping to corrupt");
+  }
+
   dht::Ring ring_;
   net::TrafficLedger ledger_;
   storage::DhtStore store_;
@@ -254,6 +288,48 @@ TEST(Auditor, TamperedSnapshotIsCaughtByFidelityCheck) {
   EXPECT_EQ(violations(report, Invariant::kSnapshot), 1u) << report.to_text();
 }
 
+TEST(Auditor, ReplicatedCleanSystemPassesEveryInvariant) {
+  CorruptibleSystem system{/*replication=*/2};
+  const Report report = system.audit();
+  EXPECT_TRUE(report.clean()) << report.to_text();
+  for (const SectionStats& section : report.sections) {
+    EXPECT_GT(section.checked, 0u);
+  }
+}
+
+TEST(Auditor, DetectsMappingMissingOnOneReplica) {
+  CorruptibleSystem system{/*replication=*/2};
+  system.inject_replica_drift();
+  const Report report = system.audit();
+  EXPECT_EQ(violations(report, Invariant::kReplicaConsistency), 1u) << report.to_text();
+  EXPECT_EQ(violations(report, Invariant::kCovering), 0u);
+  EXPECT_EQ(violations(report, Invariant::kPlacement), 0u);
+  EXPECT_EQ(violations(report, Invariant::kCacheCoherence), 0u);
+  // The fact still exists on the surviving replica and restore re-replicates
+  // it, so the distinct-fact snapshot comparison stays clean.
+  EXPECT_EQ(violations(report, Invariant::kSnapshot), 0u);
+}
+
+TEST(Auditor, DetectsReplicaStampSkew) {
+  CorruptibleSystem system{/*replication=*/2};
+  system.inject_stamp_skew();
+  const Report report = system.audit();
+  EXPECT_EQ(violations(report, Invariant::kReplicaConsistency), 1u) << report.to_text();
+  EXPECT_EQ(violations(report, Invariant::kCovering), 0u);
+  EXPECT_EQ(violations(report, Invariant::kPlacement), 0u);
+  EXPECT_EQ(violations(report, Invariant::kSnapshot), 0u);
+}
+
+TEST(Auditor, ReplicaRepairClearsDriftAndSkew) {
+  CorruptibleSystem system{/*replication=*/2};
+  system.inject_replica_drift();
+  system.inject_stamp_skew();
+  EXPECT_FALSE(system.audit().clean());
+  EXPECT_GT(system.service().rebalance(), 0u);
+  const Report report = system.audit();
+  EXPECT_TRUE(report.clean()) << report.to_text();
+}
+
 TEST(Auditor, AuditOrThrowNamesThePhase) {
   CorruptibleSystem system;
   EXPECT_NO_THROW(
@@ -279,6 +355,7 @@ TEST(AuditReport, JsonSummaryIsOneLine) {
   EXPECT_NE(line.find("\"clean\":true"), std::string::npos);
   EXPECT_NE(line.find("\"invariant\":\"covering\""), std::string::npos);
   EXPECT_NE(line.find("\"invariant\":\"snapshot\""), std::string::npos);
+  EXPECT_NE(line.find("\"invariant\":\"replica-consistency\""), std::string::npos);
 }
 
 TEST(AuditReport, TextNamesEveryInvariantAndViolation) {
@@ -287,7 +364,7 @@ TEST(AuditReport, TextNamesEveryInvariantAndViolation) {
   const Report report = system.audit();
   const std::string text = report.to_text();
   for (const char* name : {"covering", "reachability", "acyclicity", "placement",
-                           "cache-coherence", "snapshot"}) {
+                           "cache-coherence", "snapshot", "replica-consistency"}) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
   EXPECT_NE(text.find("[acyclicity]"), std::string::npos);

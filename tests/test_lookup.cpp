@@ -228,6 +228,29 @@ TEST(Lookup, FailsCleanlyWhenQueryDoesNotCoverTarget) {
   ASSERT_NE(a.title, b.title);
   const auto outcome = w.engine.resolve(a.title_query(), b.msd());
   EXPECT_FALSE(outcome.found);
+  // A clean miss is not a failure of the machinery: the budget was not
+  // exhausted and every node answered.
+  EXPECT_FALSE(outcome.gave_up);
+  EXPECT_FALSE(outcome.unreachable);
+  EXPECT_FALSE(outcome.degraded);
+  EXPECT_EQ(outcome.rpc_failures, 0);
+}
+
+TEST(Lookup, ExhaustedInteractionBudgetSetsGaveUpNotCleanMiss) {
+  World w{SchemeKind::kSimple};
+  const auto& a = w.article(0);
+  // The author chain needs 3 interactions; allow only 2.
+  LookupEngine strict{w.service, w.store, {CachePolicy::kNone, /*max_interactions=*/2}};
+  const auto outcome = strict.resolve(a.author_query(), a.msd());
+  EXPECT_FALSE(outcome.found);
+  EXPECT_TRUE(outcome.gave_up);
+  EXPECT_FALSE(outcome.unreachable);
+  EXPECT_EQ(outcome.interactions, 2);
+
+  // The same session with enough budget succeeds and clears the flag.
+  const auto relaxed = w.engine.resolve(a.author_query(), a.msd());
+  EXPECT_TRUE(relaxed.found);
+  EXPECT_FALSE(relaxed.gave_up);
 }
 
 TEST(Lookup, SearchAllFindsAllArticlesOfAnAuthor) {

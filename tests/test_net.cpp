@@ -2,6 +2,7 @@
 
 #include "net/failure.hpp"
 #include "net/latency.hpp"
+#include "net/retry.hpp"
 #include "net/stats.hpp"
 
 namespace dhtidx::net {
@@ -97,6 +98,86 @@ TEST(FailureInjector, ZeroDropNeverLoses) {
   FailureInjector failures{1, 0.0};
   const Id node = Id::hash("solid");
   for (int i = 0; i < 100; ++i) failures.check_delivery(node);
+}
+
+TEST(FailureInjector, FailNextScriptsExactFailures) {
+  FailureInjector failures;
+  const Id node = Id::hash("scripted");
+  failures.fail_next(node, 2);
+  EXPECT_EQ(failures.scripted_failures(node), 2u);
+  EXPECT_THROW(failures.check_delivery(node), RpcError);
+  EXPECT_EQ(failures.scripted_failures(node), 1u);
+  EXPECT_THROW(failures.check_delivery(node), RpcError);
+  EXPECT_EQ(failures.scripted_failures(node), 0u);
+  failures.check_delivery(node);  // script exhausted, back to normal
+
+  failures.fail_next(node, 3);
+  failures.fail_next(node, 0);  // zero clears the script
+  failures.check_delivery(node);
+}
+
+TEST(FailureInjector, ScriptedFailuresDoNotPerturbTheDropStream) {
+  // Two injectors share seed and drop probability; one additionally receives
+  // scripted failures. Scripted checks happen before the drop coin flip and
+  // consume no RNG draws, so the probabilistic outcome of every non-scripted
+  // delivery must stay bit-identical (replay determinism).
+  FailureInjector plain{42, 0.3};
+  FailureInjector scripted{42, 0.3};
+  const Id target = Id::hash("target");
+  const Id victim = Id::hash("victim");
+  for (int i = 0; i < 500; ++i) {
+    if (i % 10 == 0) {
+      scripted.fail_next(victim, 1);
+      EXPECT_THROW(scripted.check_delivery(victim), RpcError);
+    }
+    bool plain_ok = true;
+    bool scripted_ok = true;
+    try {
+      plain.check_delivery(target);
+    } catch (const RpcError&) {
+      plain_ok = false;
+    }
+    try {
+      scripted.check_delivery(target);
+    } catch (const RpcError&) {
+      scripted_ok = false;
+    }
+    ASSERT_EQ(plain_ok, scripted_ok) << "drop streams diverged at delivery " << i;
+  }
+}
+
+TEST(RetryPolicy, BackoffScheduleIsExponentialAndEndsWithTheBudget) {
+  const RetryPolicy standard;  // 2 attempts, 200ms base, x2
+  EXPECT_DOUBLE_EQ(standard.backoff_before_retry(1), 200.0);
+  EXPECT_DOUBLE_EQ(standard.backoff_before_retry(2), 0.0);  // no retry follows
+
+  const RetryPolicy deep{/*attempts_per_replica=*/4, /*backoff_ms=*/100.0,
+                         /*backoff_multiplier=*/3.0};
+  EXPECT_DOUBLE_EQ(deep.backoff_before_retry(1), 100.0);
+  EXPECT_DOUBLE_EQ(deep.backoff_before_retry(2), 300.0);
+  EXPECT_DOUBLE_EQ(deep.backoff_before_retry(3), 900.0);
+  EXPECT_DOUBLE_EQ(deep.backoff_before_retry(4), 0.0);
+}
+
+TEST(TrafficLedger, RetriesAreASeparateCategoryInsideTheTotal) {
+  TrafficLedger ledger;
+  ledger.queries.record(10);
+  ledger.retries.record(25);
+  ledger.retries.record(25);
+  EXPECT_EQ(ledger.retries.messages(), 2u);
+  EXPECT_EQ(ledger.retries.bytes(), 50u);
+  EXPECT_EQ(ledger.normal_bytes(), 10u);  // retries are failure overhead
+  EXPECT_EQ(ledger.total_bytes(), 60u);
+  ledger.reset();
+  EXPECT_EQ(ledger.retries.messages(), 0u);
+  EXPECT_EQ(ledger.total_bytes(), 0u);
+}
+
+TEST(LatencyModel, AddMsChargesVirtualTime) {
+  LatencyModel model{LatencyDistribution::kConstant, 10.0, 1};
+  model.sample_hop_ms();
+  model.add_ms(300.0);  // retry backoff charged by the index layer
+  EXPECT_DOUBLE_EQ(model.elapsed_ms(), 310.0);
 }
 
 }  // namespace

@@ -3,13 +3,14 @@
 //   dhtidx_audit [--scheme simple|flat|complex|all] [--substrate ring|chord|can|pastry|all]
 //                [--articles N] [--authors N] [--conferences N] [--corpus corpus.xml]
 //                [--nodes N] [--seed S] [--warm N] [--policy none|single|multi|lru|lru-multi]
-//                [--capacity K] [--snapshot snapshot.xml] [--report]
+//                [--capacity K] [--replication R] [--snapshot snapshot.xml] [--report]
 //
 // For every selected scheme x substrate combination the tool builds the
 // substrate, indexes the corpus (or restores --snapshot instead), optionally
 // runs --warm lookup sessions to populate the shortcut caches, then runs the
 // full audit: covering, reachability, acyclicity, placement, cache
-// coherence, and snapshot fidelity. One JSON summary line is printed per
+// coherence, snapshot fidelity, and replica consistency. One JSON summary
+// line is printed per
 // combination (the sweep trajectory format); violations are printed in full.
 // Exit status: 0 when every audit is clean, 1 when any invariant is
 // violated, 2 on usage errors.
@@ -156,6 +157,7 @@ int run(const Args& args) {
   const index::CachePolicy policy = policy_from(args.get("policy", "lru"));
   const std::size_t capacity =
       index::bounded_cache(policy) ? args.get_size("capacity", 16) : 0;
+  const std::size_t replication = args.get_size("replication", 1);
 
   std::optional<biblio::Corpus> corpus;
   std::optional<std::string> snapshot_xml;
@@ -179,8 +181,8 @@ int run(const Args& args) {
       const std::unique_ptr<dht::Dht> substrate =
           make_substrate(substrate_name, nodes, seed);
       net::TrafficLedger ledger;
-      storage::DhtStore store{*substrate, ledger};
-      index::IndexService service{*substrate, ledger, capacity};
+      storage::DhtStore store{*substrate, ledger, replication};
+      index::IndexService service{*substrate, ledger, capacity, replication};
 
       if (snapshot_xml) {
         persist::load_snapshot(*snapshot_xml, service, store);
