@@ -1,9 +1,17 @@
 // Micro-benchmarks for the primitive operations every lookup is built from:
 // hashing, query parsing/normalization, the covering test, substrate
-// resolution, index operations and cache operations.
+// resolution, index operations and cache operations -- plus the composite
+// hot paths (full iterated-lookup walk, shortcut-cache hit/miss, publish
+// and republish) whose before/after numbers are tracked in BENCH_PR5.json.
+//
+// Besides the usual console table, the binary emits one line per benchmark
+// in the repo's one-line JSON summary format (src/common/json.hpp), so runs
+// can be appended to the BENCH_*.json perf trajectory:
+//   {"bench":"micro_primitives","name":"BM_...","ns_per_op":...,"iterations":...}
 #include <benchmark/benchmark.h>
 
 #include "biblio/corpus.hpp"
+#include "common/json.hpp"
 #include "common/sha1.hpp"
 #include "dht/chord.hpp"
 #include "dht/ring.hpp"
@@ -42,6 +50,18 @@ void BM_QueryCanonicalAndKey(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueryCanonicalAndKey);
+
+// The repeated-key pattern of a lookup walk: the same query object is hashed
+// at every hop (service contact, storage fetch, cache probes). With key
+// memoization this is a cached read after the first call.
+void BM_QueryKeyRepeated(benchmark::State& state) {
+  const query::Query q = query::Query::parse(
+      "/article[author[first/John][last/Smith]][title/TCP][conf/SIGCOMM][year/1989]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.key());
+  }
+}
+BENCHMARK(BM_QueryKeyRepeated);
 
 void BM_QueryCovers(benchmark::State& state) {
   const query::Query broad = query::Query::parse("/article/author/last/Smith");
@@ -121,6 +141,147 @@ void BM_ShortcutCacheInsertFind(benchmark::State& state) {
 }
 BENCHMARK(BM_ShortcutCacheInsertFind)->Arg(0)->Arg(30);
 
+// Steady-state shortcut-cache probes with pre-parsed queries: a hit on a
+// populated cache (find + touch, the jump path of resolve()) and a miss
+// (find on a source the cache has never seen).
+void BM_ShortcutCacheHit(benchmark::State& state) {
+  index::ShortcutCache cache{0};
+  const query::Query target = query::Query::parse("/article[title=T][year=2000]");
+  std::vector<query::Query> sources;
+  for (int i = 0; i < 1000; ++i) {
+    sources.push_back(query::Query::parse("/article/title/T" + std::to_string(i)));
+    cache.insert(sources.back(), target);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const query::Query& source = sources[i++ % sources.size()];
+    benchmark::DoNotOptimize(cache.find(source));
+    cache.touch(source, target);
+  }
+}
+BENCHMARK(BM_ShortcutCacheHit);
+
+void BM_ShortcutCacheMiss(benchmark::State& state) {
+  index::ShortcutCache cache{0};
+  const query::Query target = query::Query::parse("/article[title=T][year=2000]");
+  for (int i = 0; i < 1000; ++i) {
+    cache.insert(query::Query::parse("/article/title/T" + std::to_string(i)), target);
+  }
+  std::vector<query::Query> absent;
+  for (int i = 0; i < 1000; ++i) {
+    absent.push_back(query::Query::parse("/article/title/M" + std::to_string(i)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.find(absent[i++ % absent.size()]));
+  }
+}
+BENCHMARK(BM_ShortcutCacheMiss);
+
+/// Shared world for the composite hot-path benchmarks: a mid-size corpus
+/// fully indexed over a 100-node ring. Built once per process.
+struct BenchWorld {
+  biblio::Corpus corpus;
+  dht::Ring ring;
+  net::TrafficLedger ledger;
+  storage::DhtStore store;
+  index::IndexService service;
+  index::IndexBuilder builder;
+
+  explicit BenchWorld(index::IndexingScheme scheme, std::size_t skip_first = 0)
+      : corpus(biblio::Corpus::generate({.articles = 1000, .authors = 300})),
+        ring(dht::Ring::with_nodes(100)),
+        store(ring, ledger),
+        service(ring, ledger),
+        builder(service, store, std::move(scheme)) {
+    for (std::size_t i = skip_first; i < corpus.size(); ++i) {
+      const biblio::Article& a = corpus.article(i);
+      builder.index_file(a.descriptor(), a.file_name(), a.file_bytes);
+    }
+  }
+};
+
+void BM_IndexLookup(benchmark::State& state) {
+  static BenchWorld world{index::IndexingScheme::simple()};
+  std::vector<query::Query> queries;
+  for (std::size_t i = 0; i < 256; ++i) {
+    queries.push_back(world.corpus.article(i).author_query());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.service.lookup(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_IndexLookup);
+
+// One full user session per iteration: iterated lookup from the author query
+// down the complex scheme's hierarchy to the MSD, file fetch included.
+void BM_IteratedLookupWalk(benchmark::State& state) {
+  static BenchWorld world{index::IndexingScheme::complex()};
+  index::LookupEngine engine{world.service, world.store, {index::CachePolicy::kNone}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const biblio::Article& a = world.corpus.article(i++ % world.corpus.size());
+    benchmark::DoNotOptimize(engine.resolve(a.author_query(), a.msd()));
+  }
+}
+BENCHMARK(BM_IteratedLookupWalk);
+
+// The walk with a warm shortcut cache: after the first session per article
+// every later session jumps straight from the first node to the file.
+void BM_IteratedLookupWalkCached(benchmark::State& state) {
+  static BenchWorld world{index::IndexingScheme::complex()};
+  index::LookupEngine engine{world.service, world.store, {index::CachePolicy::kSingle}};
+  for (std::size_t i = 0; i < world.corpus.size(); ++i) {
+    const biblio::Article& a = world.corpus.article(i);
+    engine.resolve(a.author_query(), a.msd());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const biblio::Article& a = world.corpus.article(i++ % world.corpus.size());
+    benchmark::DoNotOptimize(engine.resolve(a.author_query(), a.msd()));
+  }
+}
+BENCHMARK(BM_IteratedLookupWalkCached);
+
+void BM_SearchAll(benchmark::State& state) {
+  static BenchWorld world{index::IndexingScheme::simple()};
+  index::LookupEngine engine{world.service, world.store, {index::CachePolicy::kNone}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const biblio::Article& a = world.corpus.article(i++ % world.corpus.size());
+    benchmark::DoNotOptimize(engine.search_all(a.author_query()));
+  }
+}
+BENCHMARK(BM_SearchAll);
+
+// Publish path: store the file record and register every scheme mapping,
+// then remove the file again so the world stays in a steady state.
+void BM_PublishRemove(benchmark::State& state) {
+  static BenchWorld world{index::IndexingScheme::simple(), /*skip_first=*/1};
+  const biblio::Article& a = world.corpus.article(0);
+  const xml::Element descriptor = a.descriptor();
+  const std::string name = a.file_name();
+  for (auto _ : state) {
+    world.builder.index_file(descriptor, name, a.file_bytes);
+    world.builder.remove_file(descriptor);
+  }
+}
+BENCHMARK(BM_PublishRemove);
+
+// Republish refresh: the soft-state maintenance cadence of the churn phase.
+// Every mapping already exists, so this measures the probe-and-restamp path.
+void BM_RepublishRefresh(benchmark::State& state) {
+  static BenchWorld world{index::IndexingScheme::simple()};
+  const biblio::Article& a = world.corpus.article(0);
+  const xml::Element descriptor = a.descriptor();
+  std::uint64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.builder.republish(descriptor, ++now));
+  }
+}
+BENCHMARK(BM_RepublishRefresh);
+
 void BM_ResolveAuthorQuery(benchmark::State& state) {
   biblio::CorpusConfig config;
   config.articles = 1000;
@@ -143,6 +304,40 @@ void BM_ResolveAuthorQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_ResolveAuthorQuery);
 
+/// Console output as usual, plus one JSON line per benchmark at the end of
+/// the run (the BENCH_*.json trajectory format shared with the sweeps).
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string line = "{";
+      json::append_field(line, "bench", "micro_primitives");
+      json::append_field(line, "name", run.benchmark_name());
+      json::append_field(line, "ns_per_op", json::num(run.GetAdjustedRealTime()), false);
+      json::append_field(line, "iterations", std::to_string(run.iterations), false);
+      line.push_back('}');
+      lines_.push_back(std::move(line));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    for (const std::string& line : lines_) std::printf("%s\n", line.c_str());
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -33,9 +33,9 @@ std::string record_fact(const Id& key, const storage::Record& record) {
 std::vector<std::string> mapping_facts(const index::IndexService& service) {
   std::vector<std::string> facts;
   for (const auto& [node, state] : service.states()) {
-    for (const auto& [canonical, entry] : state.entries()) {
-      for (const query::Query& target : entry.second) {
-        facts.push_back(mapping_fact(canonical, target.canonical()));
+    for (const auto& [source, targets] : state.entries()) {
+      for (const index::IndexNodeState::TargetRef& ref : targets) {
+        facts.push_back(mapping_fact(source->canonical(), ref.target->canonical()));
       }
     }
   }
@@ -134,14 +134,13 @@ const std::vector<Auditor::StoredMsd>& Auditor::stored_msds() {
 void Auditor::check_covering(Report& report) {
   SectionStats& section = report.section(Invariant::kCovering);
   for (const auto& [node, state] : service_.states()) {
-    for (const auto& [canonical, entry] : state.entries()) {
-      const query::Query& source = entry.first;
-      for (const query::Query& target : entry.second) {
+    for (const auto& [source, targets] : state.entries()) {
+      for (const index::IndexNodeState::TargetRef& ref : targets) {
         ++section.checked;
-        if (!source.covers(target)) {
-          add_violation(report, Invariant::kCovering, canonical,
+        if (!source->covers(*ref.target)) {
+          add_violation(report, Invariant::kCovering, source->canonical(),
                         "stored mapping does not cover its target '" +
-                            target.canonical() + "' (node " + node.brief() + ")");
+                            ref.target->canonical() + "' (node " + node.brief() + ")");
         }
       }
     }
@@ -167,13 +166,14 @@ void Auditor::check_reachability(Report& report) {
   // Memoized responsible-node target lists, keyed by canonical query. Entry
   // queries repeat heavily across files (every article of a conference
   // shares the conference entry query), so resolve each one once.
-  std::unordered_map<std::string, const std::vector<query::Query>*> targets_memo;
-  const auto targets_of = [&](const query::Query& q) -> const std::vector<query::Query>* {
+  using TargetRefs = std::vector<index::IndexNodeState::TargetRef>;
+  std::unordered_map<std::string, const TargetRefs*> targets_memo;
+  const auto targets_of = [&](const query::Query& q) -> const TargetRefs* {
     const auto memo = targets_memo.find(q.canonical());
     if (memo != targets_memo.end()) return memo->second;
     const Id node = dht_.lookup(q.key()).node;
     const auto state = service_.states().find(node);
-    const std::vector<query::Query>* targets =
+    const TargetRefs* targets =
         state == service_.states().end() ? nullptr : &state->second.targets_of(q);
     targets_memo.emplace(q.canonical(), targets);
     return targets;
@@ -187,9 +187,10 @@ void Auditor::check_reachability(Report& report) {
       auto [q, depth] = std::move(frontier.back());
       frontier.pop_back();
       if (depth >= options_.reachability_depth_limit) continue;
-      const std::vector<query::Query>* targets = targets_of(q);
+      const TargetRefs* targets = targets_of(q);
       if (targets == nullptr) continue;
-      for (const query::Query& t : *targets) {
+      for (const index::IndexNodeState::TargetRef& ref : *targets) {
+        const query::Query& t = *ref.target;
         if (t.canonical() == msd.canonical()) return true;
         if (!t.covers(msd)) continue;
         if (visited.insert(t.canonical()).second) frontier.emplace_back(t, depth + 1);
@@ -219,11 +220,11 @@ void Auditor::check_acyclicity(Report& report) {
   SectionStats& section = report.section(Invariant::kAcyclicity);
   std::map<std::string, std::vector<std::string>> graph;
   for (const auto& [node, state] : service_.states()) {
-    for (const auto& [canonical, entry] : state.entries()) {
-      auto& out = graph[canonical];
-      for (const query::Query& target : entry.second) {
+    for (const auto& [source, targets] : state.entries()) {
+      auto& out = graph[source->canonical()];
+      for (const index::IndexNodeState::TargetRef& ref : targets) {
         ++section.checked;
-        out.push_back(target.canonical());
+        out.push_back(ref.target->canonical());
       }
     }
   }
@@ -269,13 +270,14 @@ void Auditor::check_placement(Report& report) {
   // memoize by canonical source so chord runs do not re-route per mapping.
   std::unordered_map<std::string, std::vector<Id>> replica_memo;
   for (const auto& [node, state] : service_.states()) {
-    for (const auto& [canonical, entry] : state.entries()) {
+    for (const auto& [source, targets] : state.entries()) {
       ++section.checked;
+      const std::string& canonical = source->canonical();
       auto memo = replica_memo.find(canonical);
       if (memo == replica_memo.end()) {
         memo = replica_memo
                    .emplace(canonical,
-                            dht_.replica_set(entry.first.key(), service_.replication()))
+                            dht_.replica_set(source->key(), service_.replication()))
                    .first;
       }
       const std::vector<Id>& replicas = memo->second;
@@ -450,18 +452,18 @@ void Auditor::check_snapshot(Report& report) {
 void Auditor::check_replica_consistency(Report& report) {
   SectionStats& section = report.section(Invariant::kReplicaConsistency);
 
-  // Distinct mapping facts across all nodes. Pointers stay valid: the audit
-  // never mutates index state.
+  // Distinct mapping facts across all nodes. Pointers stay valid: they are
+  // interner-owned and the audit never mutates index state.
   struct Fact {
     const query::Query* source;
     const query::Query* target;
   };
   std::map<std::string, Fact> facts;
   for (const auto& [node, state] : service_.states()) {
-    for (const auto& [canonical, entry] : state.entries()) {
-      for (const query::Query& target : entry.second) {
-        facts.emplace(mapping_fact(canonical, target.canonical()),
-                      Fact{&entry.first, &target});
+    for (const auto& [source, targets] : state.entries()) {
+      for (const index::IndexNodeState::TargetRef& ref : targets) {
+        facts.emplace(mapping_fact(source->canonical(), ref.target->canonical()),
+                      Fact{source, ref.target});
       }
     }
   }

@@ -1,0 +1,129 @@
+// Sorted-vector map: the hot-path replacement for std::map.
+//
+// The simulation probes per-node containers (DhtStore's stores, the index
+// service's node states, a NodeStore's key multimap) millions of times per
+// sweep cell. std::map pays a heap allocation per element and a pointer
+// chase per comparison; FlatMap keeps the elements in one contiguous sorted
+// vector, so probes are cache-friendly binary searches and full scans are
+// linear walks.
+//
+// Iteration visits elements in strictly ascending key order -- exactly the
+// order std::map delivers. This is a hard requirement, not an accident:
+// sweep results must stay bit-identical (PR 1), and several consumers
+// (traffic accounting, rebalance passes, the auditor, snapshots) derive
+// observable behaviour from container iteration order.
+//
+// Deliberate deviations from std::map:
+//   - insert/erase invalidate ALL iterators and references (vector storage).
+//     Callers must not hold references across mutations; the hot paths were
+//     audited for this when the container was introduced.
+//   - value_type is std::pair<Key, Value> (non-const key) so elements can be
+//     moved during insertion; don't mutate keys through iterators.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dhtidx {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using storage_type = std::vector<value_type>;
+  using iterator = typename storage_type::iterator;
+  using const_iterator = typename storage_type::const_iterator;
+
+  FlatMap() = default;
+
+  iterator begin() { return items_.begin(); }
+  iterator end() { return items_.end(); }
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+  const_iterator cbegin() const { return items_.cbegin(); }
+  const_iterator cend() const { return items_.cend(); }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  void clear() { items_.clear(); }
+  void reserve(std::size_t n) { items_.reserve(n); }
+
+  iterator find(const Key& key) {
+    const iterator it = lower_bound(key);
+    return it != items_.end() && equal(it->first, key) ? it : items_.end();
+  }
+  const_iterator find(const Key& key) const {
+    const const_iterator it = lower_bound(key);
+    return it != items_.end() && equal(it->first, key) ? it : items_.end();
+  }
+
+  bool contains(const Key& key) const { return find(key) != items_.end(); }
+
+  Value& at(const Key& key) {
+    const iterator it = find(key);
+    if (it == items_.end()) throw std::out_of_range("FlatMap::at: key not found");
+    return it->second;
+  }
+  const Value& at(const Key& key) const {
+    const const_iterator it = find(key);
+    if (it == items_.end()) throw std::out_of_range("FlatMap::at: key not found");
+    return it->second;
+  }
+
+  Value& operator[](const Key& key) { return try_emplace(key).first->second; }
+
+  /// Inserts Value{args...} under `key` unless present. Returns (iterator,
+  /// inserted) like std::map::try_emplace.
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
+    iterator it = lower_bound(key);
+    if (it != items_.end() && equal(it->first, key)) return {it, false};
+    it = items_.emplace(it, std::piecewise_construct, std::forward_as_tuple(key),
+                        std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  /// std::map::emplace equivalent for the (key, value) shape used in this
+  /// repo: does nothing when the key is already present.
+  template <typename K, typename V>
+  std::pair<iterator, bool> emplace(K&& key, V&& value) {
+    iterator it = lower_bound(key);
+    if (it != items_.end() && equal(it->first, key)) return {it, false};
+    it = items_.emplace(it, std::forward<K>(key), std::forward<V>(value));
+    return {it, true};
+  }
+
+  std::size_t erase(const Key& key) {
+    const iterator it = find(key);
+    if (it == items_.end()) return 0;
+    items_.erase(it);
+    return 1;
+  }
+
+  iterator erase(const_iterator position) { return items_.erase(position); }
+
+ private:
+  iterator lower_bound(const Key& key) {
+    return std::lower_bound(items_.begin(), items_.end(), key,
+                            [this](const value_type& item, const Key& k) {
+                              return compare_(item.first, k);
+                            });
+  }
+  const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(items_.begin(), items_.end(), key,
+                            [this](const value_type& item, const Key& k) {
+                              return compare_(item.first, k);
+                            });
+  }
+  bool equal(const Key& a, const Key& b) const {
+    return !compare_(a, b) && !compare_(b, a);
+  }
+
+  storage_type items_;
+  [[no_unique_address]] Compare compare_;
+};
+
+}  // namespace dhtidx

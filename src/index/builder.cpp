@@ -7,6 +7,21 @@
 
 namespace dhtidx::index {
 
+const std::vector<IndexBuilder::InternedMapping>& IndexBuilder::plan_for(
+    const query::Query& msd) {
+  const auto it = plans_.find(msd.canonical());
+  if (it != plans_.end()) return it->second;
+  query::QueryInterner& interner = service_.interner();
+  std::vector<Mapping> raw = scheme_.mappings_for(msd);
+  std::vector<InternedMapping> plan;
+  plan.reserve(raw.size());
+  for (Mapping& m : raw) {
+    plan.emplace_back(interner.intern(std::move(m.source)),
+                      interner.intern(std::move(m.target)));
+  }
+  return plans_.emplace(msd.canonical(), std::move(plan)).first->second;
+}
+
 void IndexBuilder::index_file(const xml::Element& descriptor, const std::string& file_name,
                               std::uint64_t file_bytes, BuildStats* stats,
                               std::uint64_t now) {
@@ -19,8 +34,8 @@ void IndexBuilder::index_file(const xml::Element& descriptor, const std::string&
   store_.put(msd.key(), std::move(record));
 
   std::size_t inserted = 0;
-  for (const Mapping& m : scheme_.mappings_for(msd)) {
-    service_.insert(m.source, m.target, now);
+  for (const auto& [source, target] : plan_for(msd)) {
+    service_.insert_interned(source, target, now);
     ++inserted;
   }
   if (dictionary_ != nullptr) {
@@ -47,8 +62,8 @@ std::size_t IndexBuilder::republish(const xml::Element& descriptor, std::uint64_
     store_.ensure(msd.key(), record);
   }
   std::size_t refreshed = 0;
-  for (const Mapping& m : scheme_.mappings_for(msd)) {
-    service_.insert(m.source, m.target, now);
+  for (const auto& [source, target] : plan_for(msd)) {
+    service_.insert_interned(source, target, now);
     ++refreshed;
   }
   return refreshed;
@@ -69,23 +84,25 @@ std::size_t IndexBuilder::remove_file(const xml::Element& descriptor) {
   // longer leads anywhere -- initially only the MSD qualifies (the file is
   // gone). Each removal that empties a source key makes mappings pointing at
   // that key removable in turn.
-  const std::vector<Mapping> mappings = scheme_.mappings_for(msd);
+  const std::vector<InternedMapping>& mappings = plan_for(msd);
   std::vector<bool> removed(mappings.size(), false);
-  std::unordered_set<std::string> dead_keys{msd.canonical()};
+  // Interned refs make key identity a pointer comparison; the MSD is interned
+  // via the service pool so it can seed the dead set.
+  std::unordered_set<const query::Query*> dead_keys{service_.interner().intern(msd)};
   std::size_t total_removed = 0;
   bool progress = true;
   while (progress) {
     progress = false;
     for (std::size_t i = 0; i < mappings.size(); ++i) {
       if (removed[i]) continue;
-      if (!dead_keys.contains(mappings[i].target.canonical())) continue;
+      if (!dead_keys.contains(mappings[i].second)) continue;
       bool source_now_empty = false;
-      if (service_.remove(mappings[i].source, mappings[i].target, source_now_empty)) {
+      if (service_.remove_interned(mappings[i].first, mappings[i].second, source_now_empty)) {
         ++total_removed;
       }
       removed[i] = true;
       progress = true;
-      if (source_now_empty) dead_keys.insert(mappings[i].source.canonical());
+      if (source_now_empty) dead_keys.insert(mappings[i].first);
     }
   }
   return total_removed;

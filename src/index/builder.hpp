@@ -7,6 +7,11 @@
 // paper describes for read/write systems.
 #pragma once
 
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "index/scheme.hpp"
 #include "index/service.hpp"
 #include "storage/dht_store.hpp"
@@ -67,10 +72,21 @@ class IndexBuilder {
   void set_dictionary(FieldDictionary* dictionary) { dictionary_ = dictionary; }
 
  private:
+  /// One scheme mapping resolved to pooled instances from the service's
+  /// interner.
+  using InternedMapping = std::pair<const query::Query*, const query::Query*>;
+
+  /// The scheme's mappings for `msd`, interned once per distinct descriptor.
+  /// Safe to memoize: the scheme is copied at construction and immutable, so
+  /// mappings_for(msd) is deterministic; index/republish/remove all replay
+  /// the same plan instead of regenerating and re-canonicalizing the queries.
+  const std::vector<InternedMapping>& plan_for(const query::Query& msd);
+
   IndexService& service_;
   storage::DhtStore& store_;
   IndexingScheme scheme_;
   FieldDictionary* dictionary_ = nullptr;
+  std::unordered_map<std::string, std::vector<InternedMapping>> plans_;
 };
 
 }  // namespace dhtidx::index

@@ -24,10 +24,14 @@ std::string to_string(CachePolicy policy) {
 
 std::vector<const query::Query*> ShortcutCache::find(const query::Query& source) const {
   std::vector<const query::Query*> out;
-  const auto it = by_source_.find(source.canonical());
+  // Probe-only: a miss must not grow the interner, so resolve through
+  // find_existing (a query the interner has never seen cannot be cached).
+  const query::Query* interned = interner_->find_existing(source);
+  if (interned == nullptr) return out;
+  const auto it = by_source_.find(interned);
   if (it == by_source_.end()) return out;
   out.reserve(it->second.size());
-  for (const auto& entry_it : it->second) out.push_back(&entry_it->target);
+  for (const auto& entry_it : it->second) out.push_back(entry_it->target);
   return out;
 }
 
@@ -35,57 +39,69 @@ std::vector<std::pair<const query::Query*, const query::Query*>> ShortcutCache::
     const {
   std::vector<std::pair<const query::Query*, const query::Query*>> out;
   out.reserve(lru_.size());
-  for (const Entry& entry : lru_) out.emplace_back(&entry.source, &entry.target);
+  for (const Entry& entry : lru_) out.emplace_back(entry.source, entry.target);
   return out;
 }
 
 bool ShortcutCache::contains(const query::Query& source, const query::Query& target) const {
-  return by_key_.contains(key_of(source, target));
+  const query::Query* s = interner_->find_existing(source);
+  if (s == nullptr) return false;
+  const query::Query* t = interner_->find_existing(target);
+  if (t == nullptr) return false;
+  return by_key_.contains({s, t});
 }
 
 bool ShortcutCache::insert(const query::Query& source, const query::Query& target) {
-  const std::string key = key_of(source, target);
-  const auto it = by_key_.find(key);
+  const query::Query* s = interner_->intern(source);
+  const query::Query* t = interner_->intern(target);
+  const auto it = by_key_.find({s, t});
   if (it != by_key_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    promote_in_bucket(source.canonical(), it->second);
+    promote_in_bucket(s, it->second);
     return false;
   }
   if (capacity_ != 0) {
     while (lru_.size() >= capacity_) evict_lru();
   }
-  lru_.push_front(Entry{source, target});
-  by_key_.emplace(key, lru_.begin());
-  auto& bucket = by_source_[source.canonical()];
+  lru_.push_front(Entry{s, t});
+  by_key_.emplace(std::make_pair(s, t), lru_.begin());
+  auto& bucket = by_source_[s];
   bucket.insert(bucket.begin(), lru_.begin());
-  bytes_ += source.byte_size() + target.byte_size();
+  bytes_ += s->byte_size() + t->byte_size();
   return true;
 }
 
 void ShortcutCache::touch(const query::Query& source, const query::Query& target) {
-  const auto it = by_key_.find(key_of(source, target));
+  const query::Query* s = interner_->find_existing(source);
+  if (s == nullptr) return;
+  const query::Query* t = interner_->find_existing(target);
+  if (t == nullptr) return;
+  const auto it = by_key_.find({s, t});
   if (it == by_key_.end()) return;
   lru_.splice(lru_.begin(), lru_, it->second);
-  promote_in_bucket(source.canonical(), it->second);
+  promote_in_bucket(s, it->second);
 }
 
 bool ShortcutCache::erase(const query::Query& source, const query::Query& target) {
-  const auto it = by_key_.find(key_of(source, target));
+  const query::Query* s = interner_->find_existing(source);
+  if (s == nullptr) return false;
+  const query::Query* t = interner_->find_existing(target);
+  if (t == nullptr) return false;
+  const auto it = by_key_.find({s, t});
   if (it == by_key_.end()) return false;
   const auto entry_it = it->second;
-  bytes_ -= entry_it->source.byte_size() + entry_it->target.byte_size();
-  const std::string source_key = entry_it->source.canonical();
+  bytes_ -= entry_it->source->byte_size() + entry_it->target->byte_size();
   by_key_.erase(it);
-  const auto bucket_it = by_source_.find(source_key);
+  const auto bucket_it = by_source_.find(s);
   if (bucket_it == by_source_.end()) {
     throw InvariantError("shortcut cache: erasing entry with no source bucket for " +
-                         source_key);
+                         s->canonical());
   }
   auto& bucket = bucket_it->second;
   const auto pos = std::find(bucket.begin(), bucket.end(), entry_it);
   if (pos == bucket.end()) {
     throw InvariantError("shortcut cache: erased entry absent from its bucket for " +
-                         source_key);
+                         s->canonical());
   }
   bucket.erase(pos);
   if (bucket.empty()) by_source_.erase(bucket_it);
@@ -94,16 +110,18 @@ bool ShortcutCache::erase(const query::Query& source, const query::Query& target
   return true;
 }
 
-void ShortcutCache::promote_in_bucket(const std::string& source_key,
+void ShortcutCache::promote_in_bucket(const query::Query* source,
                                       std::list<Entry>::iterator entry_it) {
-  const auto it = by_source_.find(source_key);
+  const auto it = by_source_.find(source);
   if (it == by_source_.end()) {
-    throw InvariantError("shortcut cache: source bucket missing for " + source_key);
+    throw InvariantError("shortcut cache: source bucket missing for " +
+                         source->canonical());
   }
   auto& bucket = it->second;
   const auto pos = std::find(bucket.begin(), bucket.end(), entry_it);
   if (pos == bucket.end()) {
-    throw InvariantError("shortcut cache: entry missing from bucket for " + source_key);
+    throw InvariantError("shortcut cache: entry missing from bucket for " +
+                         source->canonical());
   }
   std::rotate(bucket.begin(), pos, std::next(pos));
 }
@@ -111,22 +129,22 @@ void ShortcutCache::promote_in_bucket(const std::string& source_key,
 void ShortcutCache::evict_lru() {
   if (lru_.empty()) return;
   const auto victim = std::prev(lru_.end());
-  bytes_ -= victim->source.byte_size() + victim->target.byte_size();
-  const std::string source_key = victim->source.canonical();
-  by_key_.erase(key_of(victim->source, victim->target));
+  bytes_ -= victim->source->byte_size() + victim->target->byte_size();
+  const query::Query* source = victim->source;
+  by_key_.erase({victim->source, victim->target});
   // find(), not operator[]: the victim must have a bucket -- silently
   // materializing an empty one would hide index corruption and leak map
   // entries.
-  const auto bucket_it = by_source_.find(source_key);
+  const auto bucket_it = by_source_.find(source);
   if (bucket_it == by_source_.end()) {
     throw InvariantError("shortcut cache: evicting entry with no source bucket for " +
-                         source_key);
+                         source->canonical());
   }
   auto& bucket = bucket_it->second;
   const auto pos = std::find(bucket.begin(), bucket.end(), victim);
   if (pos == bucket.end()) {
     throw InvariantError("shortcut cache: evicted entry absent from its bucket for " +
-                         source_key);
+                         source->canonical());
   }
   bucket.erase(pos);
   if (bucket.empty()) by_source_.erase(bucket_it);

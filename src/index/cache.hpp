@@ -6,14 +6,22 @@
 // same query jumps straight to the file. Entries are kept in LRU order; a
 // capacity of zero means unbounded (the paper's multi-/single-cache
 // policies), a positive capacity gives the LRU-k policies.
+//
+// Entries are interned `const Query*` refs, not deep copies: insert() interns
+// through the cache's QueryInterner (normally the one shared with the whole
+// index service), probes resolve the argument to its interned instance first
+// and then work purely on pointer identity -- no canonical-string
+// concatenation or string-keyed hashing on the hot path.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "query/interner.hpp"
 #include "query/query.hpp"
 
 namespace dhtidx::index {
@@ -45,8 +53,16 @@ std::string to_string(CachePolicy policy);
 /// One node's shortcut store.
 class ShortcutCache {
  public:
-  /// capacity == 0 means unbounded.
-  explicit ShortcutCache(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// capacity == 0 means unbounded. `interner` is the shared query pool
+  /// entries are interned through (it must outlive the cache); when null the
+  /// cache owns a private interner -- the standalone-construction convenience
+  /// for tests and benchmarks.
+  explicit ShortcutCache(std::size_t capacity = 0,
+                         query::QueryInterner* interner = nullptr)
+      : own_interner_(interner == nullptr ? std::make_unique<query::QueryInterner>()
+                                          : nullptr),
+        interner_(interner != nullptr ? interner : own_interner_.get()),
+        capacity_(capacity) {}
 
   /// All targets cached under `source`, most recently used first.
   /// Does not update recency (use touch() after choosing one).
@@ -72,7 +88,7 @@ class ShortcutCache {
 
   /// Every (source, target) shortcut in global recency order, most recently
   /// used first. Exposed for diagnostics and the audit subsystem; the
-  /// pointers stay valid until the cache is next mutated.
+  /// pointers are interner-owned and stay valid for the cache's lifetime.
   std::vector<std::pair<const query::Query*, const query::Query*>> entries() const;
 
   /// Number of distinct source buckets currently tracked.
@@ -88,25 +104,39 @@ class ShortcutCache {
 
  private:
   struct Entry {
-    query::Query source;
-    query::Query target;
+    const query::Query* source;
+    const query::Query* target;
   };
 
-  static std::string key_of(const query::Query& source, const query::Query& target) {
-    return source.canonical() + '\x1f' + target.canonical();
-  }
+  struct PairHash {
+    std::size_t operator()(const std::pair<const query::Query*, const query::Query*>& p)
+        const {
+      // Splitmix-style combine of the two pointer identities.
+      std::size_t h = std::hash<const query::Query*>{}(p.first);
+      h ^= std::hash<const query::Query*>{}(p.second) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+      return h;
+    }
+  };
 
   void evict_lru();
 
   /// Moves the entry to the front of its source bucket so find() keeps
   /// returning targets most recently used first.
-  void promote_in_bucket(const std::string& source_key,
+  void promote_in_bucket(const query::Query* source,
                          std::list<Entry>::iterator entry_it);
 
+  std::unique_ptr<query::QueryInterner> own_interner_;  // set when standalone
+  query::QueryInterner* interner_;
   std::size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
-  std::unordered_map<std::string, std::vector<std::list<Entry>::iterator>> by_source_;
+  // Keyed by interned pointer identity; neither map is ever iterated, so the
+  // unordered layout cannot leak into observable (deterministic) behaviour.
+  std::unordered_map<std::pair<const query::Query*, const query::Query*>,
+                     std::list<Entry>::iterator, PairHash>
+      by_key_;
+  std::unordered_map<const query::Query*, std::vector<std::list<Entry>::iterator>>
+      by_source_;
   std::uint64_t bytes_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t invalidations_ = 0;

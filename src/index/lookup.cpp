@@ -1,6 +1,7 @@
 #include "index/lookup.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -13,27 +14,31 @@ namespace dhtidx::index {
 using query::Query;
 
 namespace {
-const std::vector<Query> kNoTargets;
+const std::vector<IndexNodeState::TargetRef> kNoTargets;
 }
 
 LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_msd) {
   LookupOutcome outcome;
   net::TrafficLedger& ledger = service_.ledger();
   // (node, query asked there) for every index node on the successful path;
-  // shortcut creation replays this chain.
-  std::vector<std::pair<Id, Query>> asked;
+  // shortcut creation replays this chain. The walk passes `const Query*` refs
+  // throughout: index targets are interner-owned, generalizations live in
+  // `scratch` (a deque, so addresses are stable), and each query's canonical
+  // form and DHT key are computed at most once for the whole session.
+  std::vector<std::pair<Id, const Query*>> asked;
   // Set while the current q == target_msd was reached through a shortcut jump
   // from (node, query): a failed fetch then invalidates that shortcut and the
   // session resumes the normal walk from the jump origin instead of failing.
-  std::optional<std::pair<Id, Query>> jumped_from;
+  std::optional<std::pair<Id, const Query*>> jumped_from;
+  std::deque<Query> scratch;
 
-  Query q = initial;
+  const Query* q = &initial;
   while (outcome.interactions < config_.max_interactions) {
-    if (q == target_msd) {
+    if (*q == target_msd) {
       // Final step: fetch the file from the storage layer (the Publication
       // index of Figure 5). DhtStore::get accounts its own traffic and fails
       // over across storage replicas itself.
-      const auto got = store_.get(q.key());
+      const auto got = store_.get(q->key());
       ++outcome.interactions;
       outcome.rpc_failures += got.rpc_failures;
       outcome.visited_nodes.push_back(got.node);
@@ -48,7 +53,8 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
         // into the void, and fall back to the normal walk from where the jump
         // happened.
         if (IndexNodeState* origin = service_.find_state(jumped_from->first);
-            origin != nullptr && origin->cache().erase(jumped_from->second, target_msd)) {
+            origin != nullptr &&
+            origin->cache().erase(*jumped_from->second, target_msd)) {
           ledger.cache.record(net::kMessageOverheadBytes);  // invalidation notice
           ++outcome.stale_shortcuts;
         }
@@ -62,7 +68,7 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
       break;
     }
 
-    const auto contact = service_.contact(q, caching_enabled(config_.policy));
+    const auto contact = service_.contact(*q, caching_enabled(config_.policy));
     outcome.rpc_failures += contact.rpc_failures;
     ++outcome.interactions;
     outcome.visited_nodes.push_back(contact.node);
@@ -80,13 +86,17 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
     bool key_has_cache_entries = false;
     if (caching_enabled(config_.policy) && contact.state != nullptr) {
       ShortcutCache& cache = contact.state->cache();
-      const auto cached = cache.find(q);
+      const auto cached = cache.find(*q);
       key_has_cache_entries = !cached.empty();
-      const bool hit = std::any_of(cached.begin(), cached.end(), [&](const Query* t) {
-        return *t == target_msd;
-      });
-      if (hit) {
-        cache.touch(q, target_msd);
+      const Query* hit = nullptr;
+      for (const Query* t : cached) {
+        if (*t == target_msd) {
+          hit = t;
+          break;
+        }
+      }
+      if (hit != nullptr) {
+        cache.touch(*q, target_msd);
         ledger.cache.record(target_msd.byte_size() + net::kMessageOverheadBytes);
         if (!outcome.cache_hit) {
           outcome.cache_hit = true;
@@ -94,15 +104,17 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
         }
         asked.emplace_back(node, q);
         jumped_from = std::pair{node, q};
-        q = target_msd;  // jump straight to the file
+        q = hit;  // jump straight to the file (interned instance of the MSD)
         continue;
       }
     }
 
-    const std::vector<Query>& targets =
-        contact.state != nullptr ? contact.state->targets_of(q) : kNoTargets;
+    const std::vector<IndexNodeState::TargetRef>& targets =
+        contact.state != nullptr ? contact.state->targets_of(*q) : kNoTargets;
     std::uint64_t response_bytes = net::kMessageOverheadBytes;
-    for (const Query& t : targets) response_bytes += t.byte_size();
+    for (const IndexNodeState::TargetRef& ref : targets) {
+      response_bytes += ref.target->byte_size();
+    }
     ledger.responses.record(response_bytes);
 
     // The user picks the result that matches the article they are after: the
@@ -110,15 +122,16 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
     // most specific wins, so short-circuit entries (direct MSD links for
     // popular content, Section IV-C) take precedence over intermediate keys.
     const Query* next = nullptr;
-    for (const Query& t : targets) {
+    for (const IndexNodeState::TargetRef& ref : targets) {
+      const Query& t = *ref.target;
       if (t != target_msd && !t.covers(target_msd)) continue;
       if (next == nullptr || t.constraints().size() > next->constraints().size()) {
-        next = &t;
+        next = ref.target;
       }
     }
     if (next != nullptr) {
       asked.emplace_back(node, q);
-      q = *next;
+      q = next;
       continue;
     }
 
@@ -129,9 +142,9 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
     // subsequent queries from other users can locate the data using the
     // cache entry, and hence do not experience an error" (Section V-E h).
     if (targets.empty() && !key_has_cache_entries) outcome.non_indexed = true;
-    const std::vector<Query> candidates = generalization_candidates(q);
-    const Query* fallback = nullptr;
-    for (const Query& g : candidates) {
+    std::vector<Query> candidates = generalization_candidates(*q);
+    Query* fallback = nullptr;
+    for (Query& g : candidates) {
       if (g.covers(target_msd)) {
         fallback = &g;
         break;
@@ -143,7 +156,14 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
     // ("the cache reduces the number of errors", Section V-E h).
     asked.emplace_back(node, q);
     ++outcome.generalization_steps;
-    q = *fallback;
+    // The same generalization recurs across sessions; reuse the interned
+    // instance (warm canonical + key) when the index already knows it.
+    if (const Query* interned = service_.interner().find_existing(*fallback)) {
+      q = interned;
+    } else {
+      scratch.push_back(std::move(*fallback));
+      q = &scratch.back();
+    }
   }
   if (!outcome.found && outcome.interactions >= config_.max_interactions) {
     outcome.gave_up = true;  // budget exhausted, distinct from a clean miss
@@ -182,7 +202,7 @@ std::vector<Query> LookupEngine::generalization_candidates(const Query& q) {
   return candidates;
 }
 
-void LookupEngine::create_shortcuts(const std::vector<std::pair<Id, Query>>& asked,
+void LookupEngine::create_shortcuts(const std::vector<std::pair<Id, const Query*>>& asked,
                                     const Query& target_msd) {
   if (!caching_enabled(config_.policy) || asked.empty()) return;
   net::TrafficLedger& ledger = service_.ledger();
@@ -190,11 +210,11 @@ void LookupEngine::create_shortcuts(const std::vector<std::pair<Id, Query>>& ask
   const std::size_t count = multi_placement(config_.policy) ? asked.size() : 1;
   for (std::size_t i = 0; i < count; ++i) {
     const auto& [node, q] = asked[i];
-    if (q == target_msd) continue;  // no point shortcutting the MSD to itself
+    if (*q == target_msd) continue;  // no point shortcutting the MSD to itself
     if (failures != nullptr && failures->is_crashed(node)) continue;  // dead, no cache
     IndexNodeState& state = service_.state_at(node);
-    if (state.cache().insert(q, target_msd)) {
-      ledger.cache.record(q.byte_size() + target_msd.byte_size() +
+    if (state.cache().insert(*q, target_msd)) {
+      ledger.cache.record(q->byte_size() + target_msd.byte_size() +
                           net::kMessageOverheadBytes);
     }
   }
@@ -238,14 +258,19 @@ std::vector<Query> LookupEngine::search_all(const Query& initial, int depth_limi
 std::vector<Query> LookupEngine::search_tree(const Query& initial, int depth_limit,
                                              SearchStats* stats) {
   std::vector<Query> results;
-  std::unordered_set<std::string> seen;
-  std::vector<std::pair<Query, int>> frontier{{initial, 0}};
-  seen.insert(initial.canonical());
+  // Walk on interned refs: reply targets come from the service's interner, so
+  // the seen-set is pointer identity. The start query is resolved to its
+  // interned instance when the index knows it; when it does not, no interned
+  // target can equal it either, so mixing in its plain address stays exact.
+  const Query* start = service_.interner().find_existing(initial);
+  if (start == nullptr) start = &initial;
+  std::unordered_set<const Query*> seen{start};
+  std::vector<std::pair<const Query*, int>> frontier{{start, 0}};
   while (!frontier.empty()) {
-    auto [q, depth] = std::move(frontier.back());
+    const auto [q, depth] = frontier.back();
     frontier.pop_back();
     if (depth > depth_limit) continue;
-    const auto reply = service_.lookup(q);  // accounts its own traffic
+    const auto reply = service_.lookup(*q);  // accounts its own traffic
     if (stats != nullptr) stats->rpc_failures += reply.rpc_failures;
     if (reply.unreachable) {
       // This branch of the index tree is currently dark: return the rest of
@@ -258,7 +283,7 @@ std::vector<Query> LookupEngine::search_tree(const Query& initial, int depth_lim
     }
     if (reply.targets.empty()) {
       // Leaf of the index graph: if a file record exists here, q is an MSD.
-      const auto got = store_.get(q.key());
+      const auto got = store_.get(q->key());
       if (stats != nullptr) stats->rpc_failures += got.rpc_failures;
       if (got.unreachable) {
         if (stats != nullptr) {
@@ -267,11 +292,11 @@ std::vector<Query> LookupEngine::search_tree(const Query& initial, int depth_lim
         }
         continue;
       }
-      if (!got.records->empty()) results.push_back(q);
+      if (!got.records->empty()) results.push_back(*q);
       continue;
     }
-    for (const Query& t : reply.targets) {
-      if (seen.insert(t.canonical()).second) frontier.emplace_back(t, depth + 1);
+    for (const Query* t : reply.targets) {
+      if (seen.insert(t).second) frontier.emplace_back(t, depth + 1);
     }
   }
   std::sort(results.begin(), results.end());

@@ -108,7 +108,7 @@ class LookupEngine {
   std::vector<query::Query> search_tree(const query::Query& initial, int depth_limit,
                                         SearchStats* stats);
 
-  void create_shortcuts(const std::vector<std::pair<Id, query::Query>>& asked,
+  void create_shortcuts(const std::vector<std::pair<Id, const query::Query*>>& asked,
                         const query::Query& target_msd);
 
   IndexService& service_;

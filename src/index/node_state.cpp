@@ -1,85 +1,127 @@
 #include "index/node_state.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace dhtidx::index {
 
 namespace {
-const std::vector<query::Query> kNoTargets;
+const std::vector<IndexNodeState::TargetRef> kNoTargets;
 }
 
-namespace {
-std::string stamp_key(const query::Query& source, const query::Query& target) {
-  return source.canonical() + '\x1f' + target.canonical();
+std::vector<IndexNodeState::SourceEntry>::iterator IndexNodeState::lower_bound(
+    const std::string& canonical) {
+  return std::lower_bound(entries_.begin(), entries_.end(), canonical,
+                          [](const SourceEntry& entry, const std::string& c) {
+                            return entry.source->canonical() < c;
+                          });
 }
-}  // namespace
+
+std::vector<IndexNodeState::SourceEntry>::const_iterator IndexNodeState::find_entry(
+    const query::Query& source) const {
+  // Probe-only: resolve through the interner without growing it. A source the
+  // interner has never seen cannot have been added here.
+  const query::Query* interned = interner_->find_existing(source);
+  if (interned == nullptr) return entries_.end();
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(),
+                                   interned->canonical(),
+                                   [](const SourceEntry& entry, const std::string& c) {
+                                     return entry.source->canonical() < c;
+                                   });
+  if (it == entries_.end() || it->source != interned) return entries_.end();
+  return it;
+}
 
 bool IndexNodeState::add(const query::Query& source, const query::Query& target,
                          std::uint64_t now) {
-  auto [it, inserted] = entries_.try_emplace(source.canonical(),
-                                             std::pair{source, std::vector<query::Query>{}});
-  auto& targets = it->second.second;
-  if (std::find(targets.begin(), targets.end(), target) != targets.end()) {
-    stamps_[stamp_key(source, target)] = now;  // republish refreshes
-    return false;
+  return add_interned(interner_->intern(source), interner_->intern(target), now);
+}
+
+bool IndexNodeState::add_interned(const query::Query* s, const query::Query* t,
+                                  std::uint64_t now) {
+  auto it = lower_bound(s->canonical());
+  const bool inserted = it == entries_.end() || it->source != s;
+  if (inserted) {
+    it = entries_.insert(it, SourceEntry{s, {}});
+  } else {
+    auto& targets = it->targets;
+    const auto pos = std::find_if(targets.begin(), targets.end(),
+                                  [t](const TargetRef& r) { return r.target == t; });
+    if (pos != targets.end()) {
+      pos->stamp = now;  // republish refreshes
+      return false;
+    }
   }
-  if (inserted) bytes_ += source.byte_size();
-  bytes_ += target.byte_size();
-  targets.push_back(target);
-  stamps_[stamp_key(source, target)] = now;
+  if (inserted) bytes_ += s->byte_size();
+  bytes_ += t->byte_size();
+  it->targets.push_back(TargetRef{t, now});
   ++mapping_count_;
   return true;
 }
 
 std::size_t IndexNodeState::expire_older_than(std::uint64_t cutoff) {
-  // Collect stale (source, target) pairs first; removal mutates the maps.
-  std::vector<std::pair<query::Query, query::Query>> stale;
-  for (const auto& [canonical, entry] : entries_) {
-    for (const query::Query& target : entry.second) {
-      const auto it = stamps_.find(stamp_key(entry.first, target));
-      if (it == stamps_.end() || it->second < cutoff) {
-        stale.emplace_back(entry.first, target);
-      }
+  // Collect stale (source, target) pairs first; removal mutates entries_.
+  std::vector<std::pair<const query::Query*, const query::Query*>> stale;
+  for (const SourceEntry& entry : entries_) {
+    for (const TargetRef& ref : entry.targets) {
+      if (ref.stamp < cutoff) stale.emplace_back(entry.source, ref.target);
     }
   }
   for (const auto& [source, target] : stale) {
     bool unused = false;
-    remove(source, target, unused);
+    remove_interned(source, target, unused);
   }
   return stale.size();
 }
 
 std::optional<std::uint64_t> IndexNodeState::refresh_stamp(
     const query::Query& source, const query::Query& target) const {
-  const auto it = stamps_.find(stamp_key(source, target));
-  if (it == stamps_.end()) return std::nullopt;
-  return it->second;
+  const auto it = find_entry(source);
+  if (it == entries_.end()) return std::nullopt;
+  const query::Query* t = interner_->find_existing(target);
+  if (t == nullptr) return std::nullopt;
+  const auto pos = std::find_if(it->targets.begin(), it->targets.end(),
+                                [t](const TargetRef& r) { return r.target == t; });
+  if (pos == it->targets.end()) return std::nullopt;
+  return pos->stamp;
 }
 
-const std::vector<query::Query>& IndexNodeState::targets_of(
+const std::vector<IndexNodeState::TargetRef>& IndexNodeState::targets_of(
     const query::Query& source) const {
-  const auto it = entries_.find(source.canonical());
-  return it == entries_.end() ? kNoTargets : it->second.second;
+  const auto it = find_entry(source);
+  return it == entries_.end() ? kNoTargets : it->targets;
 }
 
 bool IndexNodeState::has_source(const query::Query& source) const {
-  return entries_.contains(source.canonical());
+  return find_entry(source) != entries_.end();
 }
 
 bool IndexNodeState::remove(const query::Query& source, const query::Query& target,
                             bool& source_now_empty) {
   source_now_empty = false;
-  const auto it = entries_.find(source.canonical());
-  if (it == entries_.end()) return false;
-  auto& targets = it->second.second;
-  const auto pos = std::find(targets.begin(), targets.end(), target);
+  const query::Query* s = interner_->find_existing(source);
+  if (s == nullptr) return false;
+  const query::Query* t = interner_->find_existing(target);
+  if (t == nullptr) return false;
+  return remove_interned(s, t, source_now_empty);
+}
+
+bool IndexNodeState::remove_interned(const query::Query* source,
+                                     const query::Query* target,
+                                     bool& source_now_empty) {
+  source_now_empty = false;
+  const auto it = lower_bound(source->canonical());
+  if (it == entries_.end() || it->source != source) return false;
+  auto& targets = it->targets;
+  const auto pos = std::find_if(targets.begin(), targets.end(), [target](const TargetRef& r) {
+    return r.target == target;
+  });
   if (pos == targets.end()) return false;
-  bytes_ -= pos->byte_size();
-  stamps_.erase(stamp_key(it->second.first, target));
+  bytes_ -= target->byte_size();
   targets.erase(pos);
   --mapping_count_;
   if (targets.empty()) {
-    bytes_ -= it->second.first.byte_size();
+    bytes_ -= source->byte_size();
     entries_.erase(it);
     source_now_empty = true;
   }

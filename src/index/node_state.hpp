@@ -1,15 +1,22 @@
 // Per-node index state: the regular query-to-query index plus the shortcut
 // cache. Section IV: "Each node should maintain an index, which essentially
 // consists of query-to-query mappings."
+//
+// Storage is a flat vector of source entries kept sorted by canonical form --
+// the same iteration order the previous std::map<std::string, ...> layout
+// produced, so sweep results stay bit-identical -- with each mapping's
+// refresh stamp stored inline next to its target instead of in a separate
+// string-concatenation-keyed map. Queries are interned `const Query*` refs
+// shared with the whole index service.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
-#include <string>
 #include <vector>
 
 #include "index/cache.hpp"
+#include "query/interner.hpp"
 #include "query/query.hpp"
 
 namespace dhtidx::index {
@@ -17,15 +24,41 @@ namespace dhtidx::index {
 /// The index partition held by one DHT node.
 class IndexNodeState {
  public:
-  explicit IndexNodeState(std::size_t cache_capacity = 0) : cache_(cache_capacity) {}
+  /// One registered target plus the soft-state refresh stamp of its mapping.
+  struct TargetRef {
+    const query::Query* target;
+    std::uint64_t stamp;
+  };
+
+  /// One index key (source query) and its targets in insertion order.
+  struct SourceEntry {
+    const query::Query* source;
+    std::vector<TargetRef> targets;
+  };
+
+  /// `interner` is the query pool shared across the service (must outlive
+  /// this state); when null the state owns a private interner so standalone
+  /// construction in tests and benchmarks keeps working.
+  explicit IndexNodeState(std::size_t cache_capacity = 0,
+                          query::QueryInterner* interner = nullptr)
+      : own_interner_(interner == nullptr ? std::make_unique<query::QueryInterner>()
+                                          : nullptr),
+        interner_(interner != nullptr ? interner : own_interner_.get()),
+        cache_(cache_capacity, interner_) {}
 
   /// Adds the mapping (source ; target). Returns true when it was new; an
   /// existing mapping has its refresh stamp updated to `now` (soft-state
   /// republish, Section IV-C's read/write maintenance).
   bool add(const query::Query& source, const query::Query& target, std::uint64_t now = 0);
 
-  /// Targets registered under `source` (empty when none).
-  const std::vector<query::Query>& targets_of(const query::Query& source) const;
+  /// add() for callers that already hold interned refs from this state's
+  /// interner (the service's insert/rebalance paths): skips re-interning.
+  bool add_interned(const query::Query* source, const query::Query* target,
+                    std::uint64_t now = 0);
+
+  /// Targets registered under `source` with their stamps, insertion order
+  /// (empty when none).
+  const std::vector<TargetRef>& targets_of(const query::Query& source) const;
 
   /// True when any mapping is registered under `source`.
   bool has_source(const query::Query& source) const;
@@ -34,6 +67,11 @@ class IndexNodeState {
   /// `source_now_empty` when it was the last mapping for that source.
   bool remove(const query::Query& source, const query::Query& target,
               bool& source_now_empty);
+
+  /// remove() for callers that already hold interned refs from this state's
+  /// interner: skips the probe-only resolution.
+  bool remove_interned(const query::Query* source, const query::Query* target,
+                       bool& source_now_empty);
 
   /// Drops every mapping whose refresh stamp is older than `cutoff`
   /// (exclusive). Returns the number removed. Publishers that keep
@@ -57,17 +95,21 @@ class IndexNodeState {
   ShortcutCache& cache() { return cache_; }
   const ShortcutCache& cache() const { return cache_; }
 
-  /// All sources with their targets (for iteration/diagnostics).
-  const std::map<std::string, std::pair<query::Query, std::vector<query::Query>>>& entries()
-      const {
-    return entries_;
-  }
+  /// All sources with their targets, ascending by canonical form (for
+  /// iteration/diagnostics).
+  const std::vector<SourceEntry>& entries() const { return entries_; }
+
+  /// The query pool this state interns through.
+  query::QueryInterner& interner() { return *interner_; }
 
  private:
-  // canonical(source) -> (source, targets). Targets kept in insertion order.
-  std::map<std::string, std::pair<query::Query, std::vector<query::Query>>> entries_;
-  // canonical(source) + '\x1f' + canonical(target) -> refresh stamp.
-  std::map<std::string, std::uint64_t> stamps_;
+  /// Sorted position of `canonical` in entries_ (insertion point when absent).
+  std::vector<SourceEntry>::iterator lower_bound(const std::string& canonical);
+  std::vector<SourceEntry>::const_iterator find_entry(const query::Query& source) const;
+
+  std::unique_ptr<query::QueryInterner> own_interner_;  // set when standalone
+  query::QueryInterner* interner_;
+  std::vector<SourceEntry> entries_;  // sorted by source->canonical()
   ShortcutCache cache_;
   std::size_t mapping_count_ = 0;
   std::uint64_t bytes_ = 0;

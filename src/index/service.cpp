@@ -1,7 +1,9 @@
 #include "index/service.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -37,14 +39,22 @@ bool IndexService::try_deliver(const Id& target, std::uint64_t request_bytes,
 
 Id IndexService::insert(const query::Query& source, const query::Query& target,
                         std::uint64_t now) {
-  if (!source.covers(target)) {
-    throw InvariantError("index mapping rejected: '" + source.canonical() +
-                         "' does not cover '" + target.canonical() + "'");
+  // Intern up front: a republished mapping resolves to its pooled instances
+  // (warm canonical + DHT key, no SHA-1), and every replica's add() below
+  // reuses the same refs instead of re-probing the pool.
+  return insert_interned(interner_->intern(source), interner_->intern(target), now);
+}
+
+Id IndexService::insert_interned(const query::Query* s, const query::Query* t,
+                                 std::uint64_t now) {
+  if (!s->covers(*t)) {
+    throw InvariantError("index mapping rejected: '" + s->canonical() +
+                         "' does not cover '" + t->canonical() + "'");
   }
   if (failures_ == nullptr && replication_ == 1) {
     // Seed-identical fast path: one substrate lookup, one copy.
-    const Id node = dht_.lookup(source.key()).node;
-    state_at(node).add(source, target, now);
+    const Id node = dht_.lookup(s->key()).node;
+    state_at(node).add_interned(s, t, now);
     return node;
   }
   // PAST-style placement: the first `replication_` live candidates. The
@@ -52,16 +62,16 @@ Id IndexService::insert(const query::Query& source, const query::Query& target,
   // build-time operation this costs no ledger traffic.
   Id placed_on;
   std::size_t placed = 0;
-  for (const Id& replica : candidate_replicas(source.key())) {
+  for (const Id& replica : candidate_replicas(s->key())) {
     if (placed >= replication_) break;
     if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
-    state_at(replica).add(source, target, now);
+    state_at(replica).add_interned(s, t, now);
     if (placed == 0) placed_on = replica;
     ++placed;
   }
   if (placed == 0) {
     throw InvariantError("index insert: no live replica for key of '" +
-                         source.canonical() + "'");
+                         s->canonical() + "'");
   }
   return placed_on;
 }
@@ -75,23 +85,34 @@ std::size_t IndexService::expire(std::uint64_t cutoff) {
 bool IndexService::remove(const query::Query& source, const query::Query& target,
                           bool& source_now_empty) {
   source_now_empty = false;
+  // Probe-only: queries the interner has never seen cannot be in any state.
+  const query::Query* s = interner_->find_existing(source);
+  if (s == nullptr) return false;
+  const query::Query* t = interner_->find_existing(target);
+  if (t == nullptr) return false;
+  return remove_interned(s, t, source_now_empty);
+}
+
+bool IndexService::remove_interned(const query::Query* source, const query::Query* target,
+                                   bool& source_now_empty) {
+  source_now_empty = false;
   if (failures_ == nullptr && replication_ == 1) {
-    IndexNodeState* state = find_state(dht_.lookup(source.key()).node);
+    IndexNodeState* state = find_state(dht_.lookup(source->key()).node);
     if (state == nullptr) return false;
-    return state->remove(source, target, source_now_empty);
+    return state->remove_interned(source, target, source_now_empty);
   }
   bool removed_any = false;
   bool any_left = false;
   std::size_t visited = 0;
-  for (const Id& replica : candidate_replicas(source.key())) {
+  for (const Id& replica : candidate_replicas(source->key())) {
     if (visited >= replication_) break;
     if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
     ++visited;
     IndexNodeState* state = find_state(replica);
     if (state == nullptr) continue;
     bool empty_here = false;
-    if (state->remove(source, target, empty_here)) removed_any = true;
-    if (state->has_source(source)) any_left = true;
+    if (state->remove_interned(source, target, empty_here)) removed_any = true;
+    if (state->has_source(*source)) any_left = true;
   }
   source_now_empty = removed_any && !any_left;
   return removed_any;
@@ -164,17 +185,19 @@ IndexService::Reply IndexService::lookup(const query::Query& q) {
   reply.replicas_tried = contacted.replicas_tried;
   reply.unreachable = contacted.unreachable;
   if (contacted.unreachable) return reply;
-  if (contacted.state != nullptr) reply.targets = contacted.state->targets_of(q);
+  if (contacted.state != nullptr) {
+    const auto& targets = contacted.state->targets_of(q);
+    reply.targets.reserve(targets.size());
+    for (const IndexNodeState::TargetRef& ref : targets) reply.targets.push_back(ref.target);
+  }
   std::uint64_t response_bytes = net::kMessageOverheadBytes;
-  for (const query::Query& t : reply.targets) response_bytes += t.byte_size();
+  for (const query::Query* t : reply.targets) response_bytes += t->byte_size();
   ledger_.responses.record(response_bytes);
   return reply;
 }
 
 IndexNodeState& IndexService::state_at(const Id& node) {
-  const auto it = states_.find(node);
-  if (it != states_.end()) return it->second;
-  return states_.emplace(node, IndexNodeState{cache_capacity_}).first->second;
+  return states_.try_emplace(node, cache_capacity_, interner_.get()).first->second;
 }
 
 IndexNodeState* IndexService::find_state(const Id& node) {
@@ -206,35 +229,35 @@ std::size_t IndexService::rebalance() {
 
   // Pass 1: migrate mappings stranded on nodes outside their source key's
   // replica set onto the current (live) replica set, keeping the freshest
-  // stamp. Collect first -- placement mutates states_.
+  // stamp. Collect first -- placement mutates states_. The interned refs
+  // stay valid throughout: the interner never frees.
   struct Move {
     Id from;
-    query::Query source;
-    query::Query target;
+    const query::Query* source;
+    const query::Query* target;
     std::uint64_t stamp;
   };
   std::vector<Move> moves;
   for (const auto& [node, state] : states_) {
-    for (const auto& [canonical, entry] : state.entries()) {
-      const std::vector<Id> replicas = dht_.replica_set(entry.first.key(), replication_);
+    for (const auto& [source, targets] : state.entries()) {
+      const std::vector<Id> replicas = dht_.replica_set(source->key(), replication_);
       if (std::find(replicas.begin(), replicas.end(), node) != replicas.end()) continue;
-      for (const query::Query& target : entry.second) {
-        const auto stamp = state.refresh_stamp(entry.first, target);
-        moves.push_back({node, entry.first, target, stamp.value_or(0)});
+      for (const IndexNodeState::TargetRef& ref : targets) {
+        moves.push_back({node, source, ref.target, ref.stamp});
       }
     }
   }
   for (const Move& move : moves) {
     bool unused = false;
     if (IndexNodeState* from = find_state(move.from); from != nullptr) {
-      from->remove(move.source, move.target, unused);
+      from->remove_interned(move.source, move.target, unused);
     }
-    for (const Id& replica : dht_.replica_set(move.source.key(), replication_)) {
+    for (const Id& replica : dht_.replica_set(move.source->key(), replication_)) {
       if (is_dead(replica)) continue;
       IndexNodeState& state = state_at(replica);
-      const auto existing = state.refresh_stamp(move.source, move.target);
+      const auto existing = state.refresh_stamp(*move.source, *move.target);
       if (!existing || *existing < move.stamp) {
-        state.add(move.source, move.target, move.stamp);
+        state.add_interned(move.source, move.target, move.stamp);
         ++changed;
       }
     }
@@ -251,32 +274,33 @@ std::size_t IndexService::rebalance() {
   }
 
   // Pass 2: replica repair -- every mapping present on all of its replicas
-  // with identical stamps (the max across surviving copies wins).
+  // with identical stamps (the max across surviving copies wins). The facts
+  // map stays string-keyed std::map so repair order (and hence target
+  // insertion order on repaired replicas) is byte-identical to the previous
+  // layout.
   if (replication_ > 1) {
     struct Fact {
-      query::Query source;
-      query::Query target;
+      const query::Query* source;
+      const query::Query* target;
       std::uint64_t stamp;
     };
     std::map<std::string, Fact> facts;
     for (const auto& [node, state] : states_) {
-      for (const auto& [canonical, entry] : state.entries()) {
-        for (const query::Query& target : entry.second) {
-          const std::uint64_t stamp =
-              state.refresh_stamp(entry.first, target).value_or(0);
-          const std::string key = canonical + '\x1f' + target.canonical();
-          auto [it, inserted] = facts.try_emplace(key, Fact{entry.first, target, stamp});
-          if (!inserted && it->second.stamp < stamp) it->second.stamp = stamp;
+      for (const auto& [source, targets] : state.entries()) {
+        for (const IndexNodeState::TargetRef& ref : targets) {
+          const std::string key = source->canonical() + '\x1f' + ref.target->canonical();
+          auto [it, inserted] = facts.try_emplace(key, Fact{source, ref.target, ref.stamp});
+          if (!inserted && it->second.stamp < ref.stamp) it->second.stamp = ref.stamp;
         }
       }
     }
     for (const auto& [key, fact] : facts) {
-      for (const Id& replica : dht_.replica_set(fact.source.key(), replication_)) {
+      for (const Id& replica : dht_.replica_set(fact.source->key(), replication_)) {
         if (is_dead(replica)) continue;
         IndexNodeState& state = state_at(replica);
-        const auto existing = state.refresh_stamp(fact.source, fact.target);
+        const auto existing = state.refresh_stamp(*fact.source, *fact.target);
         if (!existing || *existing != fact.stamp) {
-          state.add(fact.source, fact.target, fact.stamp);
+          state.add_interned(fact.source, fact.target, fact.stamp);
           ++changed;
         }
       }

@@ -11,16 +11,22 @@
 // substrate replica set, lookups fail over across surviving replicas under a
 // RetryPolicy, and rebalance() migrates/repairs entries after churn the same
 // way DhtStore::rebalance does for stored records.
+//
+// The service owns the QueryInterner every per-node state and shortcut cache
+// interns through: one immutable Query instance per distinct query across the
+// whole index, with lookups, replies, and caches passing `const Query*` refs.
 #pragma once
 
-#include <map>
+#include <memory>
 
+#include "common/flat_map.hpp"
 #include "dht/dht.hpp"
 #include "index/node_state.hpp"
 #include "net/failure.hpp"
 #include "net/latency.hpp"
 #include "net/retry.hpp"
 #include "net/stats.hpp"
+#include "query/interner.hpp"
 #include "query/query.hpp"
 
 namespace dhtidx::index {
@@ -36,7 +42,8 @@ class IndexService {
       : dht_(dht),
         ledger_(ledger),
         cache_capacity_(cache_capacity),
-        replication_(replication == 0 ? 1 : replication) {}
+        replication_(replication == 0 ? 1 : replication),
+        interner_(std::make_unique<query::QueryInterner>()) {}
 
   /// Registers the mapping (source ; target) on the live replica set of
   /// h(source). Throws InvariantError when source does not cover target.
@@ -45,6 +52,12 @@ class IndexService {
   /// mapping's soft-state stamp. Returns the first node that stores the
   /// mapping (the live primary).
   Id insert(const query::Query& source, const query::Query& target, std::uint64_t now = 0);
+
+  /// insert() for callers that already hold refs from this service's interner
+  /// (builder mapping plans, rebalance): skips the intern probe and reuses
+  /// the refs' pre-computed DHT keys.
+  Id insert_interned(const query::Query* source, const query::Query* target,
+                     std::uint64_t now = 0);
 
   /// Drops every mapping whose refresh stamp is older than `cutoff` on every
   /// node (soft-state expiry). Returns the number of mappings removed.
@@ -55,6 +68,11 @@ class IndexService {
   /// recursive cleanup upstream).
   bool remove(const query::Query& source, const query::Query& target,
               bool& source_now_empty);
+
+  /// remove() for callers that already hold refs from this service's
+  /// interner: skips the probe-only resolution on every replica.
+  bool remove_interned(const query::Query* source, const query::Query* target,
+                       bool& source_now_empty);
 
   /// One failover contact with the replica set of h(q): the responsible node
   /// first, then surviving replicas, each under the retry policy. `state` is
@@ -74,9 +92,10 @@ class IndexService {
 
   /// The "lookup(q)" operation of Section IV: all queries qi with a mapping
   /// (q ; qi) on the responsible node (or, under failures, on the first
-  /// surviving replica that has them). Counts query/response traffic.
+  /// surviving replica that has them). Counts query/response traffic. The
+  /// targets are interner-owned refs, valid for the service's lifetime.
   struct Reply {
-    std::vector<query::Query> targets;
+    std::vector<const query::Query*> targets;
     Id node;
     int hops = 0;
     int rpc_failures = 0;
@@ -89,7 +108,7 @@ class IndexService {
   Id node_for(const query::Query& q) { return dht_.lookup(q.key()).node; }
 
   /// Mutable per-node state (created on demand with the configured cache
-  /// capacity).
+  /// capacity, interning through the service-wide pool).
   IndexNodeState& state_at(const Id& node);
 
   /// Checked accessors: the node's partition, or nullptr when it has none.
@@ -113,11 +132,16 @@ class IndexService {
   /// accounted.
   std::size_t rebalance();
 
-  const std::map<Id, IndexNodeState>& states() const { return states_; }
-  std::map<Id, IndexNodeState>& states() { return states_; }
+  const FlatMap<Id, IndexNodeState>& states() const { return states_; }
+  FlatMap<Id, IndexNodeState>& states() { return states_; }
 
   dht::Dht& dht() { return dht_; }
   net::TrafficLedger& ledger() { return ledger_; }
+
+  /// The service-wide query pool. Heap-allocated, so its address is stable
+  /// across moves of the service itself.
+  query::QueryInterner& interner() { return *interner_; }
+  const query::QueryInterner& interner() const { return *interner_; }
 
   std::size_t replication() const { return replication_; }
 
@@ -165,7 +189,8 @@ class IndexService {
   net::LatencyModel* latency_ = nullptr;
   net::RetryPolicy retry_;
   double backoff_ms_ = 0.0;
-  std::map<Id, IndexNodeState> states_;
+  std::unique_ptr<query::QueryInterner> interner_;
+  FlatMap<Id, IndexNodeState> states_;
 };
 
 }  // namespace dhtidx::index

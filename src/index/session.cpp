@@ -50,7 +50,11 @@ void InteractiveSession::issue(query::Query q) {
   ++interactions_;
   trail_.push_back(q);
   const auto reply = service_.lookup(q);  // traffic accounted by the service
-  options_ = reply.targets;
+  // Materialize copies: the session API hands out Query values whose
+  // lifetime is independent of the service's interner.
+  options_.clear();
+  options_.reserve(reply.targets.size());
+  for (const query::Query* t : reply.targets) options_.push_back(*t);
   // A query with no further refinements may be a stored file's MSD.
   at_file_ = options_.empty() && !store_.get(q.key()).records->empty();
 }

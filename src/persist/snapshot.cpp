@@ -17,11 +17,11 @@ std::string save_snapshot(const index::IndexService& service,
 
   xml::Element& index = root.add_child(xml::Element{"index"});
   for (const auto& [node, state] : service.states()) {
-    for (const auto& [canonical, entry] : state.entries()) {
-      for (const query::Query& target : entry.second) {
+    for (const auto& [source, targets] : state.entries()) {
+      for (const index::IndexNodeState::TargetRef& ref : targets) {
         xml::Element mapping{"mapping"};
-        mapping.set_attribute("source", entry.first.canonical());
-        mapping.set_attribute("target", target.canonical());
+        mapping.set_attribute("source", source->canonical());
+        mapping.set_attribute("target", ref.target->canonical());
         index.add_child(std::move(mapping));
       }
     }

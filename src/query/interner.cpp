@@ -1,0 +1,15 @@
+#include "query/interner.hpp"
+
+namespace dhtidx::query {
+
+const Query* QueryInterner::intern_impl(Query&& q) {
+  const auto it = pool_.find(std::string_view{q.canonical()});
+  if (it != pool_.end()) return it->second.get();
+  auto owned = std::make_unique<const Query>(std::move(q));
+  owned->key();  // pre-warm: interned queries never race on lazy caches
+  const Query* interned = owned.get();
+  pool_.emplace(std::string_view{interned->canonical()}, std::move(owned));
+  return interned;
+}
+
+}  // namespace dhtidx::query

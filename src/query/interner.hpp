@@ -1,0 +1,68 @@
+// Query interning: one immutable instance per distinct query.
+//
+// Every layer of the index used to pass queries around by value -- builder to
+// service, service to per-node stores, node stores to the shortcut caches --
+// so a popular query existed as thousands of deep copies, each re-deriving
+// its canonical string and DHT key. A QueryInterner is an arena that stores
+// exactly one immutable Query per canonical form; everything downstream keeps
+// `const Query*` refs instead of copies, and pointer equality coincides with
+// query equality for pointers produced by the same interner.
+//
+// Interned queries are returned with their canonical string and DHT key
+// pre-computed, so concurrent readers never race on the lazy caches, and are
+// never freed before the interner itself: erasing an index entry leaves the
+// interned query behind (refs held elsewhere -- shortcut caches, replies in
+// flight, audit snapshots -- stay valid for the interner's lifetime).
+//
+// Not thread-safe: each simulation cell owns its world (and therefore its
+// interner); nothing concurrent ever writes one.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+
+#include "query/query.hpp"
+
+namespace dhtidx::query {
+
+/// Arena of canonical query instances.
+class QueryInterner {
+ public:
+  QueryInterner() = default;
+  QueryInterner(QueryInterner&&) = default;
+  QueryInterner& operator=(QueryInterner&&) = default;
+  QueryInterner(const QueryInterner&) = delete;
+  QueryInterner& operator=(const QueryInterner&) = delete;
+
+  /// The canonical instance equal to `q`, created on first sight. The
+  /// returned query has its canonical string and DHT key pre-computed.
+  /// Probes before copying: re-interning an already-pooled query (the steady
+  /// state of republish and shortcut-refresh traffic) costs one hash lookup,
+  /// no Query copy.
+  const Query* intern(const Query& q) {
+    const Query* existing = find_existing(q);
+    return existing != nullptr ? existing : intern_impl(Query{q});
+  }
+  const Query* intern(Query&& q) { return intern_impl(std::move(q)); }
+
+  /// The canonical instance equal to `q` when one exists, nullptr otherwise.
+  /// Probe-only: never grows the pool (lookups of absent queries must not
+  /// leak arena memory).
+  const Query* find_existing(const Query& q) const {
+    const auto it = pool_.find(std::string_view{q.canonical()});
+    return it == pool_.end() ? nullptr : it->second.get();
+  }
+
+  /// Number of distinct queries interned.
+  std::size_t size() const { return pool_.size(); }
+
+ private:
+  const Query* intern_impl(Query&& q);
+
+  // Keys are views into each stored query's canonical cache, which is
+  // immutable (and heap-stable) once the query is interned.
+  std::unordered_map<std::string_view, std::unique_ptr<const Query>> pool_;
+};
+
+}  // namespace dhtidx::query

@@ -83,8 +83,17 @@ class Query {
   /// gets hashed into the DHT key.
   const std::string& canonical() const;
 
-  /// DHT key of the canonical form.
-  Id key() const { return Id::hash(canonical()); }
+  /// DHT key of the canonical form. Memoized: the SHA-1 runs once per query
+  /// object and is invalidated together with the canonical cache whenever a
+  /// constraint is added. Copies and moves carry the warm caches along, so a
+  /// query handed down a lookup walk is hashed at most once.
+  const Id& key() const {
+    if (!key_cached_) {
+      key_cache_ = Id::hash(canonical());
+      key_cached_ = true;
+    }
+    return key_cache_;
+  }
 
   /// Serialized size used for traffic accounting.
   std::size_t byte_size() const { return canonical().size(); }
@@ -114,11 +123,20 @@ class Query {
 
  private:
   void normalize();
-  void invalidate_cache() { canonical_cache_.clear(); }
+  void invalidate_cache() {
+    canonical_cache_.clear();
+    key_cached_ = false;
+  }
 
   std::string root_;
   std::vector<Constraint> constraints_;  // kept sorted & unique
+  // Lazily computed caches (not part of the query's value). Like any lazy
+  // const-method cache these are not synchronized: a Query shared across
+  // threads must have canonical()/key() called once before it is shared
+  // (QueryInterner::intern does exactly that).
   mutable std::string canonical_cache_;
+  mutable Id key_cache_;
+  mutable bool key_cached_ = false;
 };
 
 /// Hash functor over canonical form for unordered containers.

@@ -183,8 +183,11 @@ std::size_t DhtStore::rebalance() {
         break;
       }
     }
-    NodeStore& source = stores_[from];
+    // Take the destination reference first: operator[] may insert, and a
+    // FlatMap insertion invalidates references into the map. `from` already
+    // exists (we just iterated it), so the second access cannot insert.
     NodeStore& destination = stores_[to];
+    NodeStore& source = stores_[from];
     std::vector<Record> records = source.get(key);  // copy before erasing
     source.erase(key);
     for (Record& r : records) {

@@ -8,8 +8,7 @@
 // the surviving copies instead of throwing.
 #pragma once
 
-#include <map>
-
+#include "common/flat_map.hpp"
 #include "dht/dht.hpp"
 #include "net/failure.hpp"
 #include "net/latency.hpp"
@@ -86,7 +85,7 @@ class DhtStore {
   NodeStore* find_node_store(const Id& node);
   const NodeStore* find_node_store(const Id& node) const;
 
-  const std::map<Id, NodeStore>& node_stores() const { return stores_; }
+  const FlatMap<Id, NodeStore>& node_stores() const { return stores_; }
 
   /// Re-homes every record according to the current Dht membership: records
   /// on nodes outside their key's replica set move to the primary. Returns
@@ -133,7 +132,9 @@ class DhtStore {
   net::FailureInjector* failures_ = nullptr;
   net::LatencyModel* latency_ = nullptr;
   net::RetryPolicy retry_;
-  std::map<Id, NodeStore> stores_;
+  // Sorted flat storage; iterated by rebalance/metrics in ascending node-id
+  // order exactly like the std::map it replaced (determinism requirement).
+  FlatMap<Id, NodeStore> stores_;
 };
 
 }  // namespace dhtidx::storage

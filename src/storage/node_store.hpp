@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/id.hpp"
 
 namespace dhtidx::storage {
@@ -77,7 +77,10 @@ class NodeStore {
   }
 
  private:
-  std::map<Id, std::vector<Record>> items_;
+  // Sorted flat storage: probed on every put/get of the simulation's hot
+  // path, iterated in ascending key order (transfer_if, keys()) just like
+  // the std::map it replaced.
+  FlatMap<Id, std::vector<Record>> items_;
   std::size_t record_count_ = 0;
   std::uint64_t bytes_ = 0;
 };

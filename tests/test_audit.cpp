@@ -165,8 +165,8 @@ class CorruptibleSystem {
   /// An arbitrary existing mapping (the first one in node order).
   std::pair<query::Query, query::Query> some_mapping() {
     for (const auto& [node, state] : service_.states()) {
-      for (const auto& [canonical, entry] : state.entries()) {
-        if (!entry.second.empty()) return {entry.first, entry.second.front()};
+      for (const auto& [source, targets] : state.entries()) {
+        if (!targets.empty()) return {*source, *targets.front().target};
       }
     }
     throw InvariantError("no mapping to corrupt");

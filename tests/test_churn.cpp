@@ -71,7 +71,7 @@ TEST(ReplicatedIndexService, LookupFailsOverWhenThePrimaryCrashes) {
   const auto reply = world.service.lookup(source_q());
   EXPECT_FALSE(reply.unreachable);
   ASSERT_EQ(reply.targets.size(), 1u);
-  EXPECT_EQ(reply.targets[0], target_q());
+  EXPECT_EQ(*reply.targets[0], target_q());
   EXPECT_EQ(reply.node, replicas[1]);
   // The full retry budget was burnt on the dead primary, and each failed
   // attempt was charged as retry traffic plus virtual backoff time.

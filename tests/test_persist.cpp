@@ -78,8 +78,8 @@ TEST(Snapshot, RestoreUnderDifferentMembership) {
   }
   // Placement matches the new ring.
   for (const auto& [node, state] : bigger.service.states()) {
-    for (const auto& [canonical, entry] : state.entries()) {
-      EXPECT_EQ(bigger.ring.successor(entry.first.key()), node);
+    for (const auto& [source, targets] : state.entries()) {
+      EXPECT_EQ(bigger.ring.successor(source->key()), node);
     }
   }
 }

@@ -61,7 +61,7 @@ TEST_F(ServiceTest, InsertThenLookupReturnsTarget) {
   service_.insert(a.author_query(), a.author_title_query());
   const auto reply = service_.lookup(a.author_query());
   ASSERT_EQ(reply.targets.size(), 1u);
-  EXPECT_EQ(reply.targets[0], a.author_title_query());
+  EXPECT_EQ(*reply.targets[0], a.author_title_query());
   EXPECT_EQ(reply.node, ring_.successor(a.author_query().key()));
 }
 
@@ -180,11 +180,11 @@ TEST_F(BuilderTest, RemoveFileKeepsSharedEntries) {
   // conf -> conf+year survives for c.
   const auto conf_reply = service_.lookup(article_c().conference_query());
   ASSERT_EQ(conf_reply.targets.size(), 1u);
-  EXPECT_EQ(conf_reply.targets[0], article_c().conference_year_query());
+  EXPECT_EQ(*conf_reply.targets[0], article_c().conference_year_query());
   // conf+year still resolves to c's MSD only.
   const auto cy_reply = service_.lookup(article_c().conference_year_query());
   ASSERT_EQ(cy_reply.targets.size(), 1u);
-  EXPECT_EQ(cy_reply.targets[0], article_c().msd());
+  EXPECT_EQ(*cy_reply.targets[0], article_c().msd());
   // b's own author entry is gone.
   EXPECT_TRUE(service_.lookup(article_b().author_title_query()).targets.empty());
 }
@@ -206,7 +206,7 @@ TEST_F(BuilderTest, ShortCircuitEntryForPopularContent) {
   builder_.add_shortcircuit(q6, a.msd());
   const auto reply = service_.lookup(q6);
   ASSERT_EQ(reply.targets.size(), 1u);
-  EXPECT_EQ(reply.targets[0], a.msd());
+  EXPECT_EQ(*reply.targets[0], a.msd());
   // Still impossible to alias unrelated content.
   EXPECT_THROW(builder_.add_shortcircuit(Query::parse("/article/author/last/Doe"), a.msd()),
                InvariantError);
