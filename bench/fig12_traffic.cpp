@@ -1,37 +1,116 @@
 // Figure 12: average network traffic (bytes) generated per query, split into
 // normal (query + response) and cache (shortcut) traffic, for each scheme and
 // shortcut/cache policy.
+//
+// Since the message-passing substrate landed, every RPC also crosses the wire
+// as a serialized codec frame, so each cell reports two series side by side:
+// the paper's analytic accounting (fixed 40-byte envelope + payload estimate)
+// and the measured serialized byte counts from the message bus. A second JSON
+// line carries the measured series so plots can overlay both.
+//
+//   fig12_traffic [--jobs N] [--transport in-process|event] [--smoke]
+//
+// --smoke runs a reduced world under both transports and exits nonzero unless
+// both series are produced and the in-process run is bit-identical to the
+// event-queue run (there is no message loss, so the deterministic event queue
+// must deliver the exact same schedule).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
+#include "common/json.hpp"
 
 using namespace dhtidx;
 using namespace dhtidx::bench;
 
-int main(int argc, char** argv) {
-  const BenchOptions options = parse_options(argc, argv);
-  banner("Figure 12: Average network traffic (bytes) per query");
-  sim::SimulationConfig base = paper_config();
-  const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
+namespace {
 
-  struct Policy {
-    std::string label;
-    index::CachePolicy policy;
-    std::size_t capacity;
-  };
-  const Policy policies[] = {
-      {"No Cache", index::CachePolicy::kNone, 0},
-      {"Multi Cache", index::CachePolicy::kMulti, 0},
-      {"Single Cache", index::CachePolicy::kSingle, 0},
-      {"LRU 10 Keys", index::CachePolicy::kLru, 10},
-      {"LRU 20 Keys", index::CachePolicy::kLru, 20},
-      {"LRU 30 Keys", index::CachePolicy::kLru, 30},
-  };
+struct Args {
+  std::size_t jobs = 0;
+  sim::TransportKind transport = sim::TransportKind::kInProcess;
+  bool smoke = false;
+};
 
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--jobs N] [--transport in-process|event] [--smoke]\n"
+          "  --jobs N, -j N   worker threads for the sweep (default: hardware)\n"
+          "  --transport T    message transport: in-process (default, zero-copy)\n"
+          "                   or event (deterministic discrete-event queue)\n"
+          "  --smoke          reduced world, both transports, assert the two\n"
+          "                   runs are bit-identical; nonzero exit on mismatch\n",
+          argv[0]);
+      std::exit(0);
+    }
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s expects a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      char* end = nullptr;
+      const char* text = value();
+      const unsigned long jobs = std::strtoul(text, &end, 10);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s: '%s' is not a job count\n", argv[0], text);
+        std::exit(2);
+      }
+      args.jobs = static_cast<std::size_t>(jobs);
+      continue;
+    }
+    if (arg == "--transport") {
+      const std::string name = value();
+      if (name == "in-process") {
+        args.transport = sim::TransportKind::kInProcess;
+      } else if (name == "event" || name == "event-queue") {
+        args.transport = sim::TransportKind::kEventQueue;
+      } else {
+        std::fprintf(stderr, "%s: unknown transport '%s' (in-process|event)\n", argv[0],
+                     name.c_str());
+        std::exit(2);
+      }
+      continue;
+    }
+    if (arg == "--smoke") {
+      args.smoke = true;
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0], arg.c_str());
+    std::exit(2);
+  }
+  return args;
+}
+
+struct Policy {
+  std::string label;
+  index::CachePolicy policy;
+  std::size_t capacity;
+};
+
+const Policy kPolicies[] = {
+    {"No Cache", index::CachePolicy::kNone, 0},
+    {"Multi Cache", index::CachePolicy::kMulti, 0},
+    {"Single Cache", index::CachePolicy::kSingle, 0},
+    {"LRU 10 Keys", index::CachePolicy::kLru, 10},
+    {"LRU 20 Keys", index::CachePolicy::kLru, 20},
+    {"LRU 30 Keys", index::CachePolicy::kLru, 30},
+};
+
+const index::SchemeKind kSchemes[] = {index::SchemeKind::kSimple, index::SchemeKind::kFlat,
+                                      index::SchemeKind::kComplex};
+
+std::vector<sim::SimulationConfig> make_cells(const sim::SimulationConfig& base) {
   std::vector<sim::SimulationConfig> cells;
-  for (const Policy& p : policies) {
-    for (const index::SchemeKind scheme :
-         {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
+  for (const Policy& p : kPolicies) {
+    for (const index::SchemeKind scheme : kSchemes) {
       sim::SimulationConfig config = base;
       config.scheme = scheme;
       config.policy = p.policy;
@@ -39,27 +118,183 @@ int main(int argc, char** argv) {
       cells.push_back(config);
     }
   }
-  const auto results = run_cells("fig12_traffic", cells, &corpus, options);
+  return cells;
+}
 
-  std::printf("%-14s %-9s %12s %12s %12s\n", "policy", "scheme", "normal", "cache",
-              "total");
+/// The measured (serialized-byte) series, one JSON line parallel to the
+/// sweep summary so plotting scripts can overlay measured vs analytic.
+std::string wire_json(const std::vector<sim::CellResult>& cells) {
+  using json::append_field;
+  using json::num;
+  std::string out = "{";
+  append_field(out, "bench", "fig12_traffic_wire");
+  out += ",\"results\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const sim::CellResult& cell = cells[i];
+    const sim::SimulationResults& r = cell.results;
+    if (i != 0) out.push_back(',');
+    out.push_back('{');
+    append_field(out, "cell", std::to_string(cell.index), false);
+    append_field(out, "label", sim::config_label(cell.config));
+    append_field(out, "transport", sim::to_string(r.transport));
+    append_field(out, "analytic_normal_per_query", num(r.normal_traffic_per_query), false);
+    append_field(out, "analytic_cache_per_query", num(r.cache_traffic_per_query), false);
+    append_field(out, "wire_normal_per_query", num(r.wire_normal_traffic_per_query), false);
+    append_field(out, "wire_cache_per_query", num(r.wire_cache_traffic_per_query), false);
+    append_field(out, "wire_messages", std::to_string(r.wire_messages), false);
+    append_field(out, "wire_total_bytes", std::to_string(r.wire_ledger.total_bytes()),
+                 false);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+void print_table(const std::vector<sim::CellResult>& results) {
+  std::printf("%-14s %-9s | %12s %12s %12s | %12s %12s %12s\n", "policy", "scheme",
+              "normal", "cache", "total", "wire-normal", "wire-cache", "wire-total");
   std::size_t cell = 0;
-  for (const Policy& p : policies) {
-    for (const index::SchemeKind scheme :
-         {index::SchemeKind::kSimple, index::SchemeKind::kFlat, index::SchemeKind::kComplex}) {
+  for (const Policy& p : kPolicies) {
+    for (const index::SchemeKind scheme : kSchemes) {
       const sim::SimulationResults& r = results[cell++].results;
-      std::printf("%-14s %-9s %12.0f %12.0f %12.0f\n", p.label.c_str(),
-                  index::to_string(scheme).c_str(), r.normal_traffic_per_query,
-                  r.cache_traffic_per_query,
-                  r.normal_traffic_per_query + r.cache_traffic_per_query);
+      std::printf("%-14s %-9s | %12.0f %12.0f %12.0f | %12.0f %12.0f %12.0f\n",
+                  p.label.c_str(), index::to_string(scheme).c_str(),
+                  r.normal_traffic_per_query, r.cache_traffic_per_query,
+                  r.normal_traffic_per_query + r.cache_traffic_per_query,
+                  r.wire_normal_traffic_per_query, r.wire_cache_traffic_per_query,
+                  r.wire_normal_traffic_per_query + r.wire_cache_traffic_per_query);
     }
   }
+}
+
+/// Bit-identity check between two runs of the same cell under different
+/// transports. At drop probability 0 the event queue delivers frames in send
+/// order with no loss, so every metric — analytic and measured — must match
+/// exactly; any drift means the transport influenced the simulation.
+bool identical(const sim::SimulationResults& a, const sim::SimulationResults& b,
+               std::size_t cell) {
+  bool ok = true;
+  const auto check = [&](const char* name, double lhs, double rhs) {
+    if (lhs != rhs) {
+      std::fprintf(stderr, "[smoke] cell %zu: %s diverges (%.17g vs %.17g)\n", cell, name,
+                   lhs, rhs);
+      ok = false;
+    }
+  };
+  check("avg_interactions", a.avg_interactions, b.avg_interactions);
+  check("hit_ratio", a.hit_ratio, b.hit_ratio);
+  check("first_node_hit_share", a.first_node_hit_share, b.first_node_hit_share);
+  check("normal_traffic_per_query", a.normal_traffic_per_query, b.normal_traffic_per_query);
+  check("cache_traffic_per_query", a.cache_traffic_per_query, b.cache_traffic_per_query);
+  check("avg_cached_keys_per_node", a.avg_cached_keys_per_node, b.avg_cached_keys_per_node);
+  check("non_indexed_queries", static_cast<double>(a.non_indexed_queries),
+        static_cast<double>(b.non_indexed_queries));
+  check("failed_lookups", static_cast<double>(a.failed_lookups),
+        static_cast<double>(b.failed_lookups));
+  check("wire_messages", static_cast<double>(a.wire_messages),
+        static_cast<double>(b.wire_messages));
+  const auto lhs_categories = a.wire_ledger.categories();
+  const auto rhs_categories = b.wire_ledger.categories();
+  for (std::size_t i = 0; i < lhs_categories.size(); ++i) {
+    const std::string label = std::string("wire ") + lhs_categories[i].name;
+    check((label + " bytes").c_str(),
+          static_cast<double>(lhs_categories[i].stats->bytes()),
+          static_cast<double>(rhs_categories[i].stats->bytes()));
+    check((label + " messages").c_str(),
+          static_cast<double>(lhs_categories[i].stats->messages()),
+          static_cast<double>(rhs_categories[i].stats->messages()));
+  }
+  return ok;
+}
+
+int run_smoke(const Args& args) {
+  banner("Figure 12 smoke: in-process vs event-queue bit-identity");
+  sim::SimulationConfig base = paper_config();
+  base.nodes = 60;
+  base.queries = 1000;
+  base.corpus.articles = 500;
+  base.corpus.authors = 150;
+  base.corpus.conferences = 12;
+  const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
+
+  // A representative slice of the full grid: every scheme, with and without
+  // caching, is enough to exercise all message kinds.
+  std::vector<sim::SimulationConfig> cells;
+  for (const index::SchemeKind scheme : kSchemes) {
+    for (const index::CachePolicy policy :
+         {index::CachePolicy::kNone, index::CachePolicy::kLru}) {
+      sim::SimulationConfig config = base;
+      config.scheme = scheme;
+      config.policy = policy;
+      config.cache_capacity = policy == index::CachePolicy::kLru ? 10 : 0;
+      cells.push_back(config);
+    }
+  }
+
+  BenchOptions options;
+  options.jobs = args.jobs;
+  const auto in_process = run_cells("fig12_smoke_in_process", cells, &corpus, options);
+
+  for (sim::SimulationConfig& config : cells) {
+    config.transport = sim::TransportKind::kEventQueue;
+  }
+  const auto event_queue = run_cells("fig12_smoke_event_queue", cells, &corpus, options);
+
+  bool ok = true;
+  for (std::size_t i = 0; i < in_process.size(); ++i) {
+    const sim::SimulationResults& a = in_process[i].results;
+    const sim::SimulationResults& b = event_queue[i].results;
+    // Both series must actually exist: the analytic ledger and the measured
+    // wire ledger each have to have counted traffic.
+    if (a.normal_traffic_per_query <= 0.0 || a.wire_messages == 0 ||
+        a.wire_normal_traffic_per_query <= 0.0) {
+      std::fprintf(stderr, "[smoke] cell %zu: missing a series (analytic %.1f, wire %llu msgs)\n",
+                   i, a.normal_traffic_per_query,
+                   static_cast<unsigned long long>(a.wire_messages));
+      ok = false;
+    }
+    if (b.event_clock_ms <= 0.0) {
+      std::fprintf(stderr, "[smoke] cell %zu: event-queue clock never advanced\n", i);
+      ok = false;
+    }
+    if (!identical(a, b, i)) ok = false;
+  }
+  std::printf("%s\n", wire_json(in_process).c_str());
+  if (!ok) {
+    std::fprintf(stderr, "[smoke] FAILED: transports diverged or a series is missing\n");
+    return 1;
+  }
+  std::printf("[smoke] OK: %zu cells bit-identical across transports\n", in_process.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.smoke) return run_smoke(args);
+
+  banner("Figure 12: Average network traffic (bytes) per query");
+  sim::SimulationConfig base = paper_config();
+  base.transport = args.transport;
+  const biblio::Corpus corpus = biblio::Corpus::generate(base.corpus);
+  const std::vector<sim::SimulationConfig> cells = make_cells(base);
+
+  BenchOptions options;
+  options.jobs = args.jobs;
+  const auto results = run_cells("fig12_traffic", cells, &corpus, options);
+
+  print_table(results);
+  std::printf("%s\n", wire_json(results).c_str());
   std::printf(
       "\nPaper reference (Figure 12): flat generates by far the most traffic\n"
       "(~8.5 KB vs ~3 KB no-cache) because every query receives the full MSD\n"
       "result set with no indirection; caching saves normal traffic at the\n"
       "price of some cache traffic, increasingly so with larger caches.\n"
       "Cache traffic here counts shortcut-creation messages plus responses\n"
-      "served from the cache (see EXPERIMENTS.md).\n");
+      "served from the cache (see EXPERIMENTS.md).\n"
+      "The wire-* columns are measured serialized frame bytes from the\n"
+      "message bus (PROTOCOL.md), the analytic columns the paper's fixed\n"
+      "40-byte-envelope estimate; the two series should track each other.\n");
   return 0;
 }

@@ -88,6 +88,7 @@ Report Auditor::run() {
   if (options_.check_cache_coherence) check_cache_coherence(report);
   if (options_.check_snapshot) check_snapshot(report);
   if (options_.check_replica_consistency) check_replica_consistency(report);
+  if (options_.check_ledger) check_ledger(report);
   return report;
 }
 
@@ -503,6 +504,55 @@ void Auditor::check_replica_consistency(Report& report) {
                         "' differ across live replicas");
     }
   }
+}
+
+// Invariant 8: the traffic ledger's category split is exclusive, so its
+// aggregates must be pure arithmetic over the named categories -- total ==
+// sum over categories(), normal == queries + responses, and no category can
+// carry bytes without having counted a message. The same arithmetic is
+// checked on the analytic ledger and, when a message bus is wired, on its
+// measured (serialized-frame) ledger. A failure means a record site charged
+// two categories for one message, or a category was added to TrafficLedger
+// without being enumerated in categories().
+void Auditor::check_ledger(Report& report) {
+  SectionStats& section = report.section(Invariant::kLedgerArithmetic);
+
+  const auto check_one = [&](const char* name, const net::TrafficLedger& ledger) {
+    std::uint64_t bytes = 0;
+    std::uint64_t messages = 0;
+    for (const net::TrafficLedger::NamedCategory& category : ledger.categories()) {
+      bytes += category.stats->bytes();
+      messages += category.stats->messages();
+      ++section.checked;
+      if (category.stats->messages() == 0 && category.stats->bytes() != 0) {
+        add_violation(report, Invariant::kLedgerArithmetic,
+                      std::string{name} + "." + category.name,
+                      std::to_string(category.stats->bytes()) +
+                          " bytes recorded without any message");
+      }
+    }
+    ++section.checked;
+    if (ledger.total_bytes() != bytes) {
+      add_violation(report, Invariant::kLedgerArithmetic, name,
+                    "total_bytes() " + std::to_string(ledger.total_bytes()) +
+                        " != sum over categories " + std::to_string(bytes));
+    }
+    ++section.checked;
+    if (ledger.total_messages() != messages) {
+      add_violation(report, Invariant::kLedgerArithmetic, name,
+                    "total_messages() " + std::to_string(ledger.total_messages()) +
+                        " != sum over categories " + std::to_string(messages));
+    }
+    ++section.checked;
+    if (ledger.normal_bytes() != ledger.queries.bytes() + ledger.responses.bytes()) {
+      add_violation(report, Invariant::kLedgerArithmetic, name,
+                    "normal_bytes() " + std::to_string(ledger.normal_bytes()) +
+                        " != queries + responses");
+    }
+  };
+
+  check_one("analytic", service_.ledger());
+  if (service_.bus() != nullptr) check_one("wire", service_.bus()->measured());
 }
 
 void audit_or_throw(std::string_view phase, dht::Dht& dht,

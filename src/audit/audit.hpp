@@ -45,6 +45,7 @@ struct Options {
   bool check_cache_coherence = true;
   bool check_snapshot = true;
   bool check_replica_consistency = true;
+  bool check_ledger = true;
 
   /// Cap on recorded Violation details per invariant; counting continues
   /// past the cap (SectionStats::violations is always exact).
@@ -75,6 +76,7 @@ class Auditor {
   void check_cache_coherence(Report& report);
   void check_snapshot(Report& report);
   void check_replica_consistency(Report& report);
+  void check_ledger(Report& report);
 
   void add_violation(Report& report, Invariant invariant, std::string subject,
                      std::string detail);

@@ -20,6 +20,8 @@ std::string to_string(Invariant invariant) {
       return "snapshot";
     case Invariant::kReplicaConsistency:
       return "replica-consistency";
+    case Invariant::kLedgerArithmetic:
+      return "ledger-arithmetic";
   }
   return "?";
 }

@@ -25,9 +25,11 @@ enum class Invariant {
   kSnapshot,        ///< persist round-trip reproduces an identical store
   kReplicaConsistency,  ///< every mapping present + stamp-identical on all
                         ///< live replicas of its source key
+  kLedgerArithmetic,    ///< traffic categories exclusive: totals equal the
+                        ///< sum over categories(), normal = queries+responses
 };
 
-inline constexpr std::size_t kInvariantCount = 7;
+inline constexpr std::size_t kInvariantCount = 8;
 
 std::string to_string(Invariant invariant);
 

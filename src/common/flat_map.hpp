@@ -16,12 +16,20 @@
 // Deliberate deviations from std::map:
 //   - insert/erase invalidate ALL iterators and references (vector storage).
 //     Callers must not hold references across mutations; the hot paths were
-//     audited for this when the container was introduced.
+//     audited for this when the container was introduced. PR 5's rebalance
+//     hit exactly this trap once (destination reference bound before a
+//     source insertion moved the vector), so the map now keeps a generation
+//     counter bumped on every structural mutation, and FlatMap::Ref wraps an
+//     element reference that traps (throws std::logic_error) if dereferenced
+//     after any later mutation instead of reading freed memory. Cold paths
+//     that must hold a reference across possible mutations use Ref; hot
+//     paths keep raw references and stay audited.
 //   - value_type is std::pair<Key, Value> (non-const key) so elements can be
 //     moved during insertion; don't mutate keys through iterators.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <utility>
@@ -39,6 +47,43 @@ class FlatMap {
 
   FlatMap() = default;
 
+  /// A generation-checked handle to one mapped value. Dereferencing after
+  /// any structural mutation of the owning map throws instead of touching a
+  /// dangling reference. The check is one integer compare, so it stays on in
+  /// release builds.
+  class Ref {
+   public:
+    Ref(FlatMap& map, const Key& key)
+        : map_(&map), value_(&map.at(key)), generation_(map.generation()) {}
+
+    Value& get() const {
+      if (map_->generation() != generation_) {
+        throw std::logic_error(
+            "FlatMap::Ref: stale reference (map mutated since binding)");
+      }
+      return *value_;
+    }
+    Value& operator*() const { return get(); }
+    Value* operator->() const { return &get(); }
+
+    /// Re-reads the current generation after an intentional mutation. Only
+    /// valid when the referenced element is known to still exist; rebinds
+    /// the value pointer by key lookup.
+    void rebind(const Key& key) {
+      value_ = &map_->at(key);
+      generation_ = map_->generation();
+    }
+
+   private:
+    FlatMap* map_;
+    Value* value_;
+    std::uint64_t generation_;
+  };
+
+  /// Bumped by every structural mutation (insert, erase, clear). Equal
+  /// generations guarantee no reference has been invalidated in between.
+  std::uint64_t generation() const { return generation_; }
+
   iterator begin() { return items_.begin(); }
   iterator end() { return items_.end(); }
   const_iterator begin() const { return items_.begin(); }
@@ -48,7 +93,10 @@ class FlatMap {
 
   bool empty() const { return items_.empty(); }
   std::size_t size() const { return items_.size(); }
-  void clear() { items_.clear(); }
+  void clear() {
+    if (!items_.empty()) ++generation_;
+    items_.clear();
+  }
   void reserve(std::size_t n) { items_.reserve(n); }
 
   iterator find(const Key& key) {
@@ -83,6 +131,7 @@ class FlatMap {
     if (it != items_.end() && equal(it->first, key)) return {it, false};
     it = items_.emplace(it, std::piecewise_construct, std::forward_as_tuple(key),
                         std::forward_as_tuple(std::forward<Args>(args)...));
+    ++generation_;
     return {it, true};
   }
 
@@ -93,6 +142,7 @@ class FlatMap {
     iterator it = lower_bound(key);
     if (it != items_.end() && equal(it->first, key)) return {it, false};
     it = items_.emplace(it, std::forward<K>(key), std::forward<V>(value));
+    ++generation_;
     return {it, true};
   }
 
@@ -100,10 +150,14 @@ class FlatMap {
     const iterator it = find(key);
     if (it == items_.end()) return 0;
     items_.erase(it);
+    ++generation_;
     return 1;
   }
 
-  iterator erase(const_iterator position) { return items_.erase(position); }
+  iterator erase(const_iterator position) {
+    ++generation_;
+    return items_.erase(position);
+  }
 
  private:
   iterator lower_bound(const Key& key) {
@@ -123,6 +177,7 @@ class FlatMap {
   }
 
   storage_type items_;
+  std::uint64_t generation_ = 0;
   [[no_unique_address]] Compare compare_;
 };
 

@@ -56,6 +56,16 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
             origin != nullptr &&
             origin->cache().erase(*jumped_from->second, target_msd)) {
           ledger.cache.record(net::kMessageOverheadBytes);  // invalidation notice
+          if (net::MessageBus* bus = service_.bus(); bus != nullptr) {
+            // Wire record of the invalidation: a shortcut message with
+            // kNotFound status drops the entry (PROTOCOL.md).
+            net::Message notice = net::Message::request(
+                net::Action::kShortcut, Id{}, jumped_from->first);
+            notice.status = net::Status::kNotFound;
+            notice.payload.push_back(jumped_from->second->canonical());
+            notice.payload.push_back(target_msd.canonical());
+            bus->post(std::move(notice), [](const net::Message&) {});
+          }
           ++outcome.stale_shortcuts;
         }
         outcome.cache_hit = false;
@@ -216,6 +226,13 @@ void LookupEngine::create_shortcuts(const std::vector<std::pair<Id, const Query*
     if (state.cache().insert(*q, target_msd)) {
       ledger.cache.record(q->byte_size() + target_msd.byte_size() +
                           net::kMessageOverheadBytes);
+      if (net::MessageBus* bus = service_.bus(); bus != nullptr) {
+        net::Message install =
+            net::Message::request(net::Action::kShortcut, Id{}, node);
+        install.payload.push_back(q->canonical());
+        install.payload.push_back(target_msd.canonical());
+        bus->post(std::move(install), [](const net::Message&) {});
+      }
     }
   }
 }
@@ -270,7 +287,9 @@ std::vector<Query> LookupEngine::search_tree(const Query& initial, int depth_lim
     const auto [q, depth] = frontier.back();
     frontier.pop_back();
     if (depth > depth_limit) continue;
-    const auto reply = service_.lookup(*q);  // accounts its own traffic
+    // Accounts its own traffic; tagged kSearchAll so measured traffic can
+    // attribute exhaustive-search descent separately from direct lookups.
+    const auto reply = service_.lookup(*q, net::Action::kSearchAll);
     if (stats != nullptr) stats->rpc_failures += reply.rpc_failures;
     if (reply.unreachable) {
       // This branch of the index tree is currently dark: return the rest of

@@ -16,7 +16,7 @@ std::vector<Id> IndexService::candidate_replicas(const Id& key) const {
 }
 
 bool IndexService::try_deliver(const Id& target, std::uint64_t request_bytes,
-                               int& rpc_failures) {
+                               int& rpc_failures, const net::Message* wire) {
   if (failures_ == nullptr) return true;
   const std::size_t attempts = std::max<std::size_t>(retry_.attempts_per_replica, 1);
   for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
@@ -24,9 +24,12 @@ bool IndexService::try_deliver(const Id& target, std::uint64_t request_bytes,
       failures_->check_delivery(target);
       return true;
     } catch (const net::RpcError&) {
-      // The attempt consumed the network even though it failed.
+      // The attempt consumed the network even though it failed. The bytes
+      // land under `retries` only -- the delivered attempt (if any) is what
+      // gets charged to `queries`, so the category split stays exclusive.
       ++rpc_failures;
       ledger_.retries.record(request_bytes);
+      if (bus_ != nullptr && wire != nullptr) bus_->record_lost(*wire);
       const double backoff = retry_.backoff_before_retry(attempt);
       if (backoff > 0.0) {
         backoff_ms_ += backoff;
@@ -35,6 +38,56 @@ bool IndexService::try_deliver(const Id& target, std::uint64_t request_bytes,
     }
   }
   return false;
+}
+
+net::Message IndexService::wire_request(net::Action action, const Id& node,
+                                        const query::Query& q) const {
+  // The zero id is the client endpoint (PROTOCOL.md): queries originate
+  // outside the ring.
+  net::Message request = net::Message::request(action, Id{}, node);
+  request.payload.push_back(q.canonical());
+  return request;
+}
+
+void IndexService::wire_remove(const Id& node, const query::Query* source,
+                               const query::Query* target, bool removed) {
+  net::Message request = net::Message::request(net::Action::kRemove, Id{}, node);
+  request.payload.push_back(source->canonical());
+  request.payload.push_back(target->canonical());
+  bus_->exchange(std::move(request), [&](const net::Message& m) {
+    net::Message response = net::Message::response_to(m);
+    response.status = removed ? net::Status::kOk : net::Status::kNotFound;
+    return response;
+  });
+}
+
+void IndexService::wire_publish(net::Action action, const Id& node,
+                                const query::Query* source,
+                                const query::Query* target) {
+  net::Message message = net::Message::request(action, Id{}, node);
+  message.payload.push_back(source->canonical());
+  message.payload.push_back(target->canonical());
+  bus_->post(std::move(message), [](const net::Message&) {});
+}
+
+void IndexService::wire_lookup(const query::Query& q, const Id& node,
+                               net::Action action, bool consider_cache) {
+  bus_->exchange(wire_request(action, node, q), [&](const net::Message& m) {
+    // Serve from the contacted node's live state at delivery time.
+    net::Message response = net::Message::response_to(m);
+    if (const IndexNodeState* state = find_state(m.to); state != nullptr) {
+      for (const IndexNodeState::TargetRef& ref : state->targets_of(q)) {
+        response.payload.push_back(ref.target->canonical());
+      }
+      if (consider_cache) {
+        for (const query::Query* t : state->cache().find(q)) {
+          response.payload.push_back(t->canonical());
+        }
+      }
+    }
+    if (response.payload.empty()) response.status = net::Status::kNotFound;
+    return response;
+  });
 }
 
 Id IndexService::insert(const query::Query& source, const query::Query& target,
@@ -55,6 +108,7 @@ Id IndexService::insert_interned(const query::Query* s, const query::Query* t,
     // Seed-identical fast path: one substrate lookup, one copy.
     const Id node = dht_.lookup(s->key()).node;
     state_at(node).add_interned(s, t, now);
+    if (bus_ != nullptr) wire_publish(net::Action::kPublish, node, s, t);
     return node;
   }
   // PAST-style placement: the first `replication_` live candidates. The
@@ -66,6 +120,11 @@ Id IndexService::insert_interned(const query::Query* s, const query::Query* t,
     if (placed >= replication_) break;
     if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
     state_at(replica).add_interned(s, t, now);
+    if (bus_ != nullptr) {
+      // The primary gets the publish; further copies are replication pushes.
+      wire_publish(placed == 0 ? net::Action::kPublish : net::Action::kReplicate,
+                   replica, s, t);
+    }
     if (placed == 0) placed_on = replica;
     ++placed;
   }
@@ -97,9 +156,12 @@ bool IndexService::remove_interned(const query::Query* source, const query::Quer
                                    bool& source_now_empty) {
   source_now_empty = false;
   if (failures_ == nullptr && replication_ == 1) {
-    IndexNodeState* state = find_state(dht_.lookup(source->key()).node);
-    if (state == nullptr) return false;
-    return state->remove_interned(source, target, source_now_empty);
+    const Id node = dht_.lookup(source->key()).node;
+    IndexNodeState* state = find_state(node);
+    const bool removed =
+        state != nullptr && state->remove_interned(source, target, source_now_empty);
+    if (bus_ != nullptr) wire_remove(node, source, target, removed);
+    return removed;
   }
   bool removed_any = false;
   bool any_left = false;
@@ -109,17 +171,22 @@ bool IndexService::remove_interned(const query::Query* source, const query::Quer
     if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
     ++visited;
     IndexNodeState* state = find_state(replica);
-    if (state == nullptr) continue;
+    bool removed_here = false;
     bool empty_here = false;
-    if (state->remove_interned(source, target, empty_here)) removed_any = true;
-    if (state->has_source(*source)) any_left = true;
+    if (state != nullptr) {
+      removed_here = state->remove_interned(source, target, empty_here);
+      if (removed_here) removed_any = true;
+      if (state->has_source(*source)) any_left = true;
+    }
+    if (bus_ != nullptr) wire_remove(replica, source, target, removed_here);
   }
   source_now_empty = removed_any && !any_left;
   return removed_any;
 }
 
 IndexService::ContactResult IndexService::contact(const query::Query& q,
-                                                  bool consider_cache) {
+                                                  bool consider_cache,
+                                                  net::Action action) {
   const Id key = q.key();
   const dht::LookupResult primary = dht_.lookup(key);
   ContactResult result;
@@ -131,6 +198,7 @@ IndexService::ContactResult IndexService::contact(const query::Query& q,
     // Seed-identical fast path: one substrate lookup, one query message, the
     // responsible node answers whatever it has.
     ledger_.queries.record(request_bytes);
+    if (bus_ != nullptr) wire_lookup(q, primary.node, action, consider_cache);
     result.replicas_tried = 1;
     result.state = find_state(primary.node);
     return result;
@@ -147,9 +215,15 @@ IndexService::ContactResult IndexService::contact(const query::Query& q,
   std::size_t contacted = 0;
   for (const Id& replica : candidate_replicas(key)) {
     if (contacted >= replication_) break;
-    if (!try_deliver(replica, request_bytes, result.rpc_failures)) continue;
+    net::Message wire;
+    if (bus_ != nullptr) wire = wire_request(action, replica, q);
+    if (!try_deliver(replica, request_bytes, result.rpc_failures,
+                     bus_ != nullptr ? &wire : nullptr)) {
+      continue;
+    }
     ++contacted;
     ledger_.queries.record(request_bytes);
+    if (bus_ != nullptr) wire_lookup(q, replica, action, consider_cache);
     IndexNodeState* state = find_state(replica);
     const bool useful =
         state != nullptr &&
@@ -176,8 +250,8 @@ IndexService::ContactResult IndexService::contact(const query::Query& q,
   return result;
 }
 
-IndexService::Reply IndexService::lookup(const query::Query& q) {
-  const ContactResult contacted = contact(q, /*consider_cache=*/false);
+IndexService::Reply IndexService::lookup(const query::Query& q, net::Action action) {
+  const ContactResult contacted = contact(q, /*consider_cache=*/false, action);
   Reply reply;
   reply.node = contacted.node;
   reply.hops = contacted.hops;
@@ -254,14 +328,31 @@ std::size_t IndexService::rebalance() {
     }
     for (const Id& replica : dht_.replica_set(move.source->key(), replication_)) {
       if (is_dead(replica)) continue;
-      IndexNodeState& state = state_at(replica);
-      const auto existing = state.refresh_stamp(*move.source, *move.target);
-      if (!existing || *existing < move.stamp) {
-        state.add_interned(move.source, move.target, move.stamp);
-        ++changed;
+      // The placement applies when the repair message is *delivered*: with
+      // the event-queue transport that is the frame's virtual delivery time,
+      // so churn repair ordering is event-accurate. Placements commute with
+      // the inline removals above (stranded nodes are outside the replica
+      // set), so the final state is transport-independent.
+      const auto apply = [this, &changed, source = move.source, target = move.target,
+                          stamp = move.stamp, replica](const net::Message&) {
+        IndexNodeState& state = state_at(replica);
+        const auto existing = state.refresh_stamp(*source, *target);
+        if (!existing || *existing < stamp) {
+          state.add_interned(source, target, stamp);
+          ++changed;
+        }
+      };
+      if (bus_ != nullptr) {
+        net::Message message = net::Message::request(net::Action::kRepair, Id{}, replica);
+        message.payload.push_back(move.source->canonical());
+        message.payload.push_back(move.target->canonical());
+        bus_->post(std::move(message), apply);
+      } else {
+        apply(net::Message{});
       }
     }
   }
+  if (bus_ != nullptr) bus_->sync();
 
   // Departed nodes lose their whole partition (shortcut caches included)
   // once their mappings have migrated.
@@ -297,14 +388,27 @@ std::size_t IndexService::rebalance() {
     for (const auto& [key, fact] : facts) {
       for (const Id& replica : dht_.replica_set(fact.source->key(), replication_)) {
         if (is_dead(replica)) continue;
-        IndexNodeState& state = state_at(replica);
-        const auto existing = state.refresh_stamp(*fact.source, *fact.target);
-        if (!existing || *existing != fact.stamp) {
-          state.add_interned(fact.source, fact.target, fact.stamp);
-          ++changed;
+        const auto apply = [this, &changed, source = fact.source, target = fact.target,
+                            stamp = fact.stamp, replica](const net::Message&) {
+          IndexNodeState& state = state_at(replica);
+          const auto existing = state.refresh_stamp(*source, *target);
+          if (!existing || *existing != stamp) {
+            state.add_interned(source, target, stamp);
+            ++changed;
+          }
+        };
+        if (bus_ != nullptr) {
+          net::Message message =
+              net::Message::request(net::Action::kRepair, Id{}, replica);
+          message.payload.push_back(fact.source->canonical());
+          message.payload.push_back(fact.target->canonical());
+          bus_->post(std::move(message), apply);
+        } else {
+          apply(net::Message{});
         }
       }
     }
+    if (bus_ != nullptr) bus_->sync();
   }
   return changed;
 }

@@ -22,6 +22,7 @@
 #include "common/flat_map.hpp"
 #include "dht/dht.hpp"
 #include "index/node_state.hpp"
+#include "net/bus.hpp"
 #include "net/failure.hpp"
 #include "net/latency.hpp"
 #include "net/retry.hpp"
@@ -88,7 +89,8 @@ class IndexService {
     int replicas_tried = 0;   ///< replicas successfully contacted
     bool unreachable = false; ///< no replica answered within the budget
   };
-  ContactResult contact(const query::Query& q, bool consider_cache);
+  ContactResult contact(const query::Query& q, bool consider_cache,
+                        net::Action action = net::Action::kLookup);
 
   /// The "lookup(q)" operation of Section IV: all queries qi with a mapping
   /// (q ; qi) on the responsible node (or, under failures, on the first
@@ -102,7 +104,10 @@ class IndexService {
     int replicas_tried = 0;
     bool unreachable = false;
   };
-  Reply lookup(const query::Query& q);
+  /// `action` tags the wire request (kLookup for direct resolution,
+  /// kSearchAll when issued by the exhaustive-search descent) so measured
+  /// traffic can attribute the two flows; analytic accounting is unchanged.
+  Reply lookup(const query::Query& q, net::Action action = net::Action::kLookup);
 
   /// The node currently responsible for q (no traffic accounted).
   Id node_for(const query::Query& q) { return dht_.lookup(q.key()).node; }
@@ -137,6 +142,7 @@ class IndexService {
 
   dht::Dht& dht() { return dht_; }
   net::TrafficLedger& ledger() { return ledger_; }
+  const net::TrafficLedger& ledger() const { return ledger_; }
 
   /// The service-wide query pool. Heap-allocated, so its address is stable
   /// across moves of the service itself.
@@ -152,6 +158,16 @@ class IndexService {
 
   void set_retry_policy(const net::RetryPolicy& policy) { retry_ = policy; }
   const net::RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Routes this service's RPCs (publish, lookup, search-all, remove,
+  /// replicate, repair) through a message bus: every operation additionally
+  /// travels as a typed net::Message whose serialized size lands in the
+  /// bus's measured ledger. nullptr (the default) keeps the pure in-process
+  /// behaviour with analytic accounting only. The in-process state remains
+  /// authoritative either way — the bus's serve/apply callbacks read and
+  /// write the same node states at message-delivery time.
+  void set_bus(net::MessageBus* bus) { bus_ = bus; }
+  net::MessageBus* bus() const { return bus_; }
 
   /// Latency model charged with retry backoff (nullptr = backoff only
   /// accumulates in retry_backoff_ms()).
@@ -178,8 +194,33 @@ class IndexService {
 
   /// Attempts delivery to `target` under the retry policy. Returns true when
   /// a delivery got through; each failed attempt counts into `rpc_failures`
-  /// and the retry ledger, and backoff is charged as virtual latency.
-  bool try_deliver(const Id& target, std::uint64_t request_bytes, int& rpc_failures);
+  /// and the retry ledger, and backoff is charged as virtual latency. When a
+  /// wire message is given, each failed attempt is also recorded as a lost
+  /// frame in the bus's measured ledger.
+  bool try_deliver(const Id& target, std::uint64_t request_bytes, int& rpc_failures,
+                   const net::Message* wire = nullptr);
+
+  /// Runs the lookup RPC for `q` against `node` over the bus: request out,
+  /// response built from the node's live index state (and shortcut bucket
+  /// when `consider_cache`) at delivery time.
+  void wire_lookup(const query::Query& q, const Id& node, net::Action action,
+                   bool consider_cache);
+
+  /// Builds the request leg of an index RPC carrying `q` (client → node).
+  net::Message wire_request(net::Action action, const Id& node,
+                            const query::Query& q) const;
+
+  /// Posts the one-way wire record of a publish/replicate placement. The
+  /// mapping itself is applied by the caller (publishes must be readable
+  /// back immediately by the builder's cascade); the frame carries the
+  /// source and target canonical forms and is acknowledged by the replica.
+  void wire_publish(net::Action action, const Id& node, const query::Query* source,
+                    const query::Query* target);
+
+  /// Runs the remove RPC against one replica; the response leg reports
+  /// whether the mapping existed there.
+  void wire_remove(const Id& node, const query::Query* source,
+                   const query::Query* target, bool removed);
 
   dht::Dht& dht_;
   net::TrafficLedger& ledger_;
@@ -187,6 +228,7 @@ class IndexService {
   std::size_t replication_;
   net::FailureInjector* failures_ = nullptr;
   net::LatencyModel* latency_ = nullptr;
+  net::MessageBus* bus_ = nullptr;
   net::RetryPolicy retry_;
   double backoff_ms_ = 0.0;
   std::unique_ptr<query::QueryInterner> interner_;

@@ -1,0 +1,107 @@
+#include "net/bus.hpp"
+
+#include "net/codec.hpp"
+
+namespace dhtidx::net {
+
+Message MessageBus::exchange(Message request, const Server& serve) {
+  const std::uint64_t id = next_request_id_++;
+  request.request_id = id;
+  servers_[id] = &serve;
+  ++exchanges_;
+  account(request, transport_.send(request));
+
+  // The in-process transport has already run the whole round trip by now;
+  // the event queue needs pumping until the response frame lands.
+  while (responses_.find(id) == responses_.end()) {
+    if (transport_.idle()) {
+      servers_.erase(id);
+      throw Error{"message bus: transport drained without a response to " +
+                  std::string(to_string(request.action)) + " #" +
+                  std::to_string(id)};
+    }
+    transport_.pump();
+  }
+  Message response = std::move(responses_.at(id));
+  responses_.erase(id);
+  servers_.erase(id);
+  return response;
+}
+
+void MessageBus::post(Message message, Applier apply) {
+  const std::uint64_t id = next_request_id_++;
+  message.request_id = id;
+  appliers_[id] = std::move(apply);
+  ++posts_;
+  account(message, transport_.send(message));
+}
+
+void MessageBus::sync() {
+  while (!transport_.idle()) {
+    transport_.pump();
+  }
+  if (!appliers_.empty()) {
+    throw Error{"message bus: " + std::to_string(appliers_.size()) +
+                " posted messages were never delivered"};
+  }
+}
+
+void MessageBus::record_lost(const Message& message) {
+  measured_.retries.record(codec::encoded_size(message));
+}
+
+void MessageBus::on_message(const Message& message, std::uint64_t /*wire_bytes*/) {
+  // Frames are accounted at send time (the send-side knows the category);
+  // delivery only dispatches.
+  if (message.context == Context::kRequest) {
+    const auto server = servers_.find(message.request_id);
+    if (server != servers_.end()) {
+      Message response = (*server->second)(message);
+      account(response, transport_.send(response));
+      return;
+    }
+    const auto applier = appliers_.find(message.request_id);
+    if (applier != appliers_.end()) {
+      applier->second(message);
+      appliers_.erase(applier);
+      Message ack = Message::ack_to(message);
+      account(ack, transport_.send(ack));
+      return;
+    }
+    throw Error{"message bus: request #" + std::to_string(message.request_id) +
+                " has no server or applier"};
+  }
+  if (message.context == Context::kResponse) {
+    responses_.emplace(message.request_id, message);
+    return;
+  }
+  // Acks confirm delivery of one-way posts; accounting happened at send time.
+}
+
+void MessageBus::account(const Message& message, std::uint64_t wire_bytes) {
+  // Acks and pings are pure overhead, kin to substrate routing.
+  if (message.context == Context::kAck || message.action == Action::kPing) {
+    measured_.routing.record(wire_bytes);
+    return;
+  }
+  switch (message.action) {
+    case Action::kShortcut:
+      measured_.cache.record(wire_bytes);
+      return;
+    case Action::kPublish:
+    case Action::kReplicate:
+    case Action::kRepair:
+    case Action::kStore:
+      measured_.maintenance.record(wire_bytes);
+      return;
+    default:
+      break;
+  }
+  if (message.context == Context::kRequest) {
+    measured_.queries.record(wire_bytes);
+  } else {
+    measured_.responses.record(wire_bytes);
+  }
+}
+
+}  // namespace dhtidx::net

@@ -1,0 +1,89 @@
+// RPC message bus: pairs requests with responses over any Transport and
+// accounts every frame's serialized size into a measured TrafficLedger.
+//
+// Two interaction shapes:
+//
+//   * exchange(request, serve) — a request/response round trip. `serve` runs
+//     at the instant the request is *delivered* (synchronously for the
+//     in-process transport, at the frame's virtual delivery time for the
+//     event queue) and builds the response from live node state.
+//
+//   * post(message, apply) — a one-way operation (publish, replicate,
+//     repair, shortcut install). `apply` runs at delivery and the bus sends
+//     a header-only ack back, so one-way traffic still exercises the full
+//     taxonomy. sync() pumps until every posted message has been applied.
+//
+// The measured ledger mirrors the analytic one kept by the services, but its
+// byte counts come from codec frame sizes instead of the paper's per-message
+// estimate. Categorization by action keeps the two comparable:
+// lookup/search-all/fetch/remove → queries (+ their reply legs → responses),
+// shortcut → cache, publish/store/replicate/repair → maintenance,
+// ping and all acks → routing, lost frames → retries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "net/message.hpp"
+#include "net/stats.hpp"
+#include "net/transport.hpp"
+
+namespace dhtidx::net {
+
+class MessageBus : public MessageSink {
+ public:
+  /// Builds the response for a delivered request.
+  using Server = std::function<Message(const Message&)>;
+  /// Applies a delivered one-way message.
+  using Applier = std::function<void(const Message&)>;
+
+  explicit MessageBus(Transport& transport) : transport_(transport) {
+    transport_.set_sink(this);
+  }
+
+  /// Runs one request/response exchange. Assigns the correlation id, sends
+  /// the request, pumps the transport until the response arrives, and
+  /// returns it. Throws Error if the transport drains without producing the
+  /// response.
+  Message exchange(Message request, const Server& serve);
+
+  /// Sends a one-way message whose effect is `apply`, acknowledged with a
+  /// header-only ack. Delivery may be deferred until sync()/pump.
+  void post(Message message, Applier apply);
+
+  /// Pumps the transport until idle and every pending post has been applied.
+  void sync();
+
+  /// Accounts one failed delivery attempt of `message` (crash or drop) under
+  /// the `retries` category. The frame never reaches the transport.
+  void record_lost(const Message& message);
+
+  /// MessageSink: dispatches a delivered frame.
+  void on_message(const Message& message, std::uint64_t wire_bytes) override;
+
+  TrafficLedger& measured() { return measured_; }
+  const TrafficLedger& measured() const { return measured_; }
+  Transport& transport() { return transport_; }
+
+  std::uint64_t exchanges() const { return exchanges_; }
+  std::uint64_t posts() const { return posts_; }
+
+ private:
+  void account(const Message& message, std::uint64_t wire_bytes);
+
+  Transport& transport_;
+  TrafficLedger measured_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t exchanges_ = 0;
+  std::uint64_t posts_ = 0;
+
+  // In-flight state keyed by correlation id. Server/Applier pointers stay
+  // valid because exchange()/sync() pump within the caller's scope.
+  std::unordered_map<std::uint64_t, const Server*> servers_;
+  std::unordered_map<std::uint64_t, Applier> appliers_;
+  std::unordered_map<std::uint64_t, Message> responses_;
+};
+
+}  // namespace dhtidx::net

@@ -1,0 +1,55 @@
+#include "net/message.hpp"
+
+namespace dhtidx::net {
+
+const char* to_string(Context context) {
+  switch (context) {
+    case Context::kRequest:
+      return "request";
+    case Context::kResponse:
+      return "response";
+    case Context::kAck:
+      return "ack";
+  }
+  return "?";
+}
+
+const char* to_string(Action action) {
+  switch (action) {
+    case Action::kPing:
+      return "ping";
+    case Action::kPublish:
+      return "publish";
+    case Action::kLookup:
+      return "lookup";
+    case Action::kSearchAll:
+      return "search-all";
+    case Action::kReplicate:
+      return "replicate";
+    case Action::kRepair:
+      return "repair";
+    case Action::kStore:
+      return "store";
+    case Action::kFetch:
+      return "fetch";
+    case Action::kRemove:
+      return "remove";
+    case Action::kShortcut:
+      return "shortcut";
+  }
+  return "?";
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kNotFound:
+      return "not-found";
+    case Status::kError:
+      return "error";
+  }
+  return "?";
+}
+
+}  // namespace dhtidx::net

@@ -24,8 +24,12 @@ struct RetryPolicy {
 
   /// Backoff charged before the (attempt+1)-th delivery, where `attempt` is
   /// the 1-based attempt that just failed. Zero when no retry follows.
+  ///
+  /// Schedule: the first retry (attempt == 1) waits exactly backoff_ms — the
+  /// multiplier kicks in from the second retry on. Attempt 0 is "nothing has
+  /// failed yet" and waits nothing; tests/test_net.cpp pins the whole table.
   double backoff_before_retry(std::size_t attempt) const {
-    if (attempt >= attempts_per_replica) return 0.0;
+    if (attempt == 0 || attempt >= attempts_per_replica) return 0.0;
     double wait = backoff_ms;
     for (std::size_t i = 1; i < attempt; ++i) wait *= backoff_multiplier;
     return wait;

@@ -7,6 +7,7 @@
 // reports.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -36,17 +37,48 @@ class TrafficStats {
   std::uint64_t bytes_ = 0;
 };
 
-/// The traffic categories measured by the evaluation.
+/// The traffic categories measured by the evaluation. The categories are
+/// exclusive: every recorded message lands in exactly one of them (a retried
+/// RPC's failed attempts go under `retries`, only the delivered attempt under
+/// `queries`), so total_bytes() must equal the sum over categories() — the
+/// auditor checks this arithmetic as an invariant.
 struct TrafficLedger {
-  TrafficStats queries;    ///< user query messages
-  TrafficStats responses;  ///< index/result responses ("normal" traffic)
-  TrafficStats cache;      ///< shortcut-creation traffic
-  TrafficStats routing;    ///< DHT substrate routing messages
-  TrafficStats retries;    ///< failed delivery attempts repeated under RetryPolicy
+  TrafficStats queries;      ///< user query messages
+  TrafficStats responses;    ///< index/result responses ("normal" traffic)
+  TrafficStats cache;        ///< shortcut-creation traffic
+  TrafficStats routing;      ///< DHT substrate routing messages and acks
+  TrafficStats retries;      ///< failed delivery attempts repeated under RetryPolicy
+  TrafficStats maintenance;  ///< publish/replicate/repair (soft-state upkeep)
+
+  /// Name → counters for every category, in a fixed order. Single source of
+  /// truth for total_bytes() and the auditor's consistency check.
+  struct NamedCategory {
+    const char* name;
+    const TrafficStats* stats;
+  };
+  std::array<NamedCategory, 6> categories() const {
+    return {{{"queries", &queries},
+             {"responses", &responses},
+             {"cache", &cache},
+             {"routing", &routing},
+             {"retries", &retries},
+             {"maintenance", &maintenance}}};
+  }
 
   std::uint64_t normal_bytes() const { return queries.bytes() + responses.bytes(); }
   std::uint64_t total_bytes() const {
-    return normal_bytes() + cache.bytes() + routing.bytes() + retries.bytes();
+    std::uint64_t total = 0;
+    for (const NamedCategory& category : categories()) {
+      total += category.stats->bytes();
+    }
+    return total;
+  }
+  std::uint64_t total_messages() const {
+    std::uint64_t total = 0;
+    for (const NamedCategory& category : categories()) {
+      total += category.stats->messages();
+    }
+    return total;
   }
 
   void reset() {
@@ -55,6 +87,7 @@ struct TrafficLedger {
     cache.reset();
     routing.reset();
     retries.reset();
+    maintenance.reset();
   }
 };
 

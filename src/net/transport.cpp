@@ -1,0 +1,43 @@
+#include "net/transport.hpp"
+
+#include "net/codec.hpp"
+
+namespace dhtidx::net {
+
+std::uint64_t InProcessTransport::send(const Message& message) {
+  const std::uint64_t wire_bytes = codec::encoded_size(message);
+  ++delivered_;
+  if (sink_ != nullptr) {
+    sink_->on_message(message, wire_bytes);
+  }
+  return wire_bytes;
+}
+
+std::uint64_t EventQueueTransport::send(const Message& message) {
+  std::string frame = codec::encode(message);
+  const std::uint64_t wire_bytes = frame.size();
+  queue_.push(PendingFrame{clock_ms_ + hop_delay_ms_, next_sequence_++,
+                           std::move(frame)});
+  return wire_bytes;
+}
+
+void EventQueueTransport::pump() {
+  while (!queue_.empty()) {
+    // Copy out before popping: the sink may send() re-entrantly, and the
+    // queue must not hold a popped-but-live reference meanwhile.
+    PendingFrame next{queue_.top().deliver_at_ms, queue_.top().sequence,
+                      std::string(queue_.top().frame)};
+    queue_.pop();
+    if (next.deliver_at_ms > clock_ms_) {
+      clock_ms_ = next.deliver_at_ms;
+    }
+    const Message message = codec::decode(next.frame);
+    ++delivered_;
+    trace_.push_back(next.sequence);
+    if (sink_ != nullptr) {
+      sink_->on_message(message, next.frame.size());
+    }
+  }
+}
+
+}  // namespace dhtidx::net

@@ -1,0 +1,129 @@
+// Pluggable message transports.
+//
+// A Transport moves Messages from sender to receiver and reports the wire
+// size of each frame. Three implementations:
+//
+//   * InProcessTransport — the fast path. Messages are handed to the sink by
+//     reference, zero-copy: nothing is serialized, the wire size is computed
+//     arithmetically (codec::encoded_size). Delivery is synchronous, so the
+//     observable call order is identical to direct function calls — this is
+//     what keeps the default sweep JSON bit-identical.
+//
+//   * EventQueueTransport — a deterministic discrete-event queue. send()
+//     encodes the frame and schedules it at now + hop_delay; pump() delivers
+//     queued frames in (deliver_at, sequence) order, decoding each one (so
+//     every delivered message has survived a real round trip). With the
+//     default constant hop delay the delivery order equals send order, which
+//     is the property the CI smoke pins: at drop probability 0 the
+//     event-queue run must be bit-identical to the in-process run.
+//
+//   * UdpTransport (udp.hpp) — real datagrams over the loopback interface,
+//     for the examples/ demo.
+//
+// Transports know nothing about RPC semantics; pairing requests with
+// responses and accounting bytes into a TrafficLedger is the MessageBus's job
+// (bus.hpp).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace dhtidx::net {
+
+/// Receives delivered messages together with their wire size in bytes.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void on_message(const Message& message, std::uint64_t wire_bytes) = 0;
+};
+
+/// Common transport interface. send() returns the frame's wire size so the
+/// caller can account bytes even before delivery happens.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Queues (or immediately delivers) one message. Returns its wire size.
+  virtual std::uint64_t send(const Message& message) = 0;
+
+  /// Delivers every message currently queued (and any sent during delivery).
+  virtual void pump() = 0;
+
+  /// True when nothing is in flight.
+  virtual bool idle() const = 0;
+
+  void set_sink(MessageSink* sink) { sink_ = sink; }
+
+ protected:
+  MessageSink* sink_ = nullptr;
+};
+
+/// Synchronous zero-copy transport: the message object itself is the frame.
+class InProcessTransport : public Transport {
+ public:
+  const char* name() const override { return "in-process"; }
+
+  std::uint64_t send(const Message& message) override;
+  void pump() override {}
+  bool idle() const override { return true; }
+
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  std::uint64_t delivered_ = 0;
+};
+
+/// Deterministic discrete-event transport. Virtual time only: the clock
+/// advances to each frame's delivery instant as pump() drains the queue.
+class EventQueueTransport : public Transport {
+ public:
+  /// `hop_delay_ms` is charged to every frame. Constant by default so the
+  /// delivery order is exactly the send order (FIFO).
+  explicit EventQueueTransport(double hop_delay_ms = 1.0)
+      : hop_delay_ms_(hop_delay_ms) {}
+
+  const char* name() const override { return "event-queue"; }
+
+  std::uint64_t send(const Message& message) override;
+  void pump() override;
+  bool idle() const override { return queue_.empty(); }
+
+  double clock_ms() const { return clock_ms_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+  /// Deterministic fingerprint of the delivery history: sequence numbers in
+  /// the order frames were handed to the sink. Two runs with the same seed
+  /// and configuration must produce equal traces.
+  const std::vector<std::uint64_t>& delivery_trace() const { return trace_; }
+
+ private:
+  struct PendingFrame {
+    double deliver_at_ms;
+    std::uint64_t sequence;
+    std::string frame;
+
+    // Min-heap on (deliver_at, sequence): std::priority_queue keeps the
+    // *largest* element on top, so "greater" here means "delivered later".
+    bool operator<(const PendingFrame& other) const {
+      if (deliver_at_ms != other.deliver_at_ms) {
+        return deliver_at_ms > other.deliver_at_ms;
+      }
+      return sequence > other.sequence;
+    }
+  };
+
+  double hop_delay_ms_;
+  double clock_ms_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::priority_queue<PendingFrame> queue_;
+  std::vector<std::uint64_t> trace_;
+};
+
+}  // namespace dhtidx::net

@@ -1,0 +1,113 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "net/codec.hpp"
+
+namespace dhtidx::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error{what + ": " + std::strerror(errno)};
+}
+
+sockaddr_in loopback_address(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    throw_errno("udp socket");
+  }
+  sockaddr_in addr = loopback_address(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("udp bind");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("udp getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void UdpTransport::add_peer(const Id& node, std::uint16_t port) {
+  peers_[node] = port;
+}
+
+std::uint64_t UdpTransport::send(const Message& message) {
+  const auto peer = peers_.find(message.to);
+  if (peer == peers_.end()) {
+    throw NotFoundError{"udp peer " + message.to.brief()};
+  }
+  const std::string frame = codec::encode(message);
+  const sockaddr_in addr = loopback_address(peer->second);
+  const ssize_t sent =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0 || static_cast<std::size_t>(sent) != frame.size()) {
+    throw_errno("udp sendto");
+  }
+  return frame.size();
+}
+
+void UdpTransport::pump() {
+  char buffer[65536];
+  for (;;) {
+    const ssize_t received = ::recv(fd_, buffer, sizeof(buffer), MSG_DONTWAIT);
+    if (received < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      throw_errno("udp recv");
+    }
+    const Message message =
+        codec::decode(std::string_view{buffer, static_cast<std::size_t>(received)});
+    if (sink_ != nullptr) {
+      sink_->on_message(message, static_cast<std::uint64_t>(received));
+    }
+  }
+}
+
+bool UdpTransport::poll_and_pump(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    throw_errno("udp poll");
+  }
+  if (ready == 0) {
+    return false;
+  }
+  pump();
+  return true;
+}
+
+}  // namespace dhtidx::net

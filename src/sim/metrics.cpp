@@ -5,6 +5,16 @@
 
 namespace dhtidx::sim {
 
+const char* to_string(TransportKind transport) {
+  switch (transport) {
+    case TransportKind::kInProcess:
+      return "in-process";
+    case TransportKind::kEventQueue:
+      return "event-queue";
+  }
+  return "?";
+}
+
 double percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());

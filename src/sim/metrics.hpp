@@ -10,6 +10,14 @@
 
 namespace dhtidx::sim {
 
+/// Which message transport carries the run's RPCs (see net/transport.hpp).
+/// kInProcess is the zero-copy default and keeps results bit-identical to the
+/// pre-message-layer behaviour; kEventQueue serializes every frame through a
+/// deterministic discrete-event queue.
+enum class TransportKind { kInProcess, kEventQueue };
+
+const char* to_string(TransportKind transport);
+
 /// Everything one simulation run measures; each field maps to a figure or
 /// table of the paper (see DESIGN.md's experiment index).
 struct SimulationResults {
@@ -83,8 +91,19 @@ struct SimulationResults {
   std::size_t repair_moves = 0;         ///< entries/records repaired at end
   std::size_t republish_rounds = 0;
 
-  // Raw traffic ledger for the query phase.
+  // Raw traffic ledger for the query phase (analytic per-message estimates,
+  // the paper's accounting).
   net::TrafficLedger ledger;
+
+  // Measured wire traffic for the query phase: serialized codec frame bytes
+  // counted by the message bus, category-for-category comparable with
+  // `ledger` above. fig12 plots the two side by side.
+  TransportKind transport = TransportKind::kInProcess;
+  net::TrafficLedger wire_ledger;
+  double wire_normal_traffic_per_query = 0.0;
+  double wire_cache_traffic_per_query = 0.0;
+  std::uint64_t wire_messages = 0;        ///< frames sent during the feed
+  double event_clock_ms = 0.0;            ///< event-queue virtual end time
 };
 
 /// Convenience percentile over an unsorted copy of `values` (p in [0,100]).

@@ -10,6 +10,8 @@
 #endif
 #include "dht/can.hpp"
 #include "dht/chord.hpp"
+#include "net/bus.hpp"
+#include "net/transport.hpp"
 #include "dht/pastry.hpp"
 #include "dht/ring.hpp"
 #include "workload/generator.hpp"
@@ -77,6 +79,26 @@ SimulationResults run_simulation(const SimulationConfig& config,
   net::TrafficLedger ledger;
   storage::DhtStore store{ring, ledger, config.replication};
   index::IndexService service{ring, ledger, config.cache_capacity, config.replication};
+
+  // Message layer: every RPC additionally travels as a typed net::Message so
+  // the bus's measured ledger counts serialized frame bytes next to the
+  // analytic estimates in `ledger`. The in-process transport delivers
+  // synchronously (zero-copy, behaviour identical to direct calls); the
+  // event-queue transport encodes, queues and decodes every frame.
+  std::optional<net::InProcessTransport> in_process;
+  std::optional<net::EventQueueTransport> event_queue;
+  net::Transport* transport = nullptr;
+  if (config.transport == TransportKind::kEventQueue) {
+    event_queue.emplace();
+    transport = &*event_queue;
+  } else {
+    in_process.emplace();
+    transport = &*in_process;
+  }
+  net::MessageBus bus{*transport};
+  service.set_bus(&bus);
+  store.set_bus(&bus);
+
   std::optional<net::FailureInjector> injector;
   if (config.churn.enabled()) {
     injector.emplace(config.seed ^ 0xFA11C0DEull);
@@ -90,6 +112,7 @@ SimulationResults run_simulation(const SimulationConfig& config,
   for (const biblio::Article& article : corpus.articles()) {
     builder.index_file(article.descriptor(), article.file_name(), article.file_bytes);
   }
+  bus.sync();  // flush publish/store frames queued during the build
 #ifdef DHTIDX_AUDIT
   // Phase boundary: the index is fully built, no query has run. Any audit
   // traffic lands before the resets below, so measurements are unaffected.
@@ -97,8 +120,10 @@ SimulationResults run_simulation(const SimulationConfig& config,
   audit_options.scheme = &builder.scheme();
   audit::audit_or_throw("post-build", ring, service, store, audit_options);
 #endif
-  // Index construction traffic is not part of the per-query measurements.
+  // Index construction traffic is not part of the per-query measurements --
+  // neither the analytic estimates nor the measured wire bytes.
   ledger.reset();
+  bus.measured().reset();
   if (chord_substrate) chord_substrate->routing_stats().reset();
   if (can_substrate) can_substrate->routing_stats().reset();
   if (pastry_substrate) pastry_substrate->routing_stats().reset();
@@ -220,6 +245,19 @@ SimulationResults run_simulation(const SimulationConfig& config,
       hits == 0 ? 0.0 : static_cast<double>(first_node_hits) / static_cast<double>(hits);
   r.ledger = ledger;
 
+  // Measured wire traffic: flush any frames still queued from the last
+  // session, then snapshot the bus ledger before repair-phase maintenance
+  // traffic is generated.
+  bus.sync();
+  r.transport = config.transport;
+  r.wire_ledger = bus.measured();
+  r.wire_normal_traffic_per_query =
+      static_cast<double>(r.wire_ledger.normal_bytes()) / n_queries;
+  r.wire_cache_traffic_per_query =
+      static_cast<double>(r.wire_ledger.cache.bytes()) / n_queries;
+  r.wire_messages = r.wire_ledger.total_messages();
+  if (event_queue) r.event_clock_ms = event_queue->clock_ms();
+
   // Availability under churn.
   r.replication = config.replication;
   r.retry_backoff_ms = service.retry_backoff_ms();
@@ -306,6 +344,7 @@ SimulationResults run_simulation(const SimulationConfig& config,
     r.repair_moves += service.rebalance();
     republish_all(config.queries);
     engine.purge_stale_shortcuts();
+    bus.sync();  // flush republish frames before the world is torn down
   }
 
 #ifdef DHTIDX_AUDIT
@@ -328,6 +367,10 @@ std::string config_label(const SimulationConfig& config) {
   }
   if (config.churn.enabled()) {
     label += " churn";
+  }
+  if (config.transport != TransportKind::kInProcess) {
+    label += " ";
+    label += to_string(config.transport);
   }
   return label;
 }

@@ -76,6 +76,13 @@ struct SimulationConfig {
 
   /// Mid-run failure schedule; disabled by default.
   ChurnConfig churn;
+
+  /// Message transport carrying the run's RPCs. The default in-process
+  /// transport is the zero-copy fast path and keeps sweep output
+  /// bit-identical to the pre-message-layer behaviour; kEventQueue encodes,
+  /// queues and decodes every frame through the deterministic discrete-event
+  /// transport.
+  TransportKind transport = TransportKind::kInProcess;
 };
 
 /// Runs one complete experiment and returns its measurements.

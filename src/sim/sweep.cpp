@@ -168,6 +168,20 @@ std::string json_summary(std::string_view bench_name, const SweepSummary& sweep)
     append_field(out, "non_indexed_queries", std::to_string(r.non_indexed_queries), false);
     append_field(out, "failed_lookups", std::to_string(r.failed_lookups), false);
     append_field(out, "replication", std::to_string(cell.config.replication), false);
+    if (cell.config.transport != TransportKind::kInProcess) {
+      // Wire-measurement fields only appear for non-default transports, so
+      // the default sweep JSON stays bit-identical to the pre-message-layer
+      // output (same rule as the churn-gated block below).
+      append_field(out, "transport", to_string(cell.config.transport));
+      append_field(out, "wire_normal_traffic_per_query",
+                   num(r.wire_normal_traffic_per_query), false);
+      append_field(out, "wire_cache_traffic_per_query",
+                   num(r.wire_cache_traffic_per_query), false);
+      append_field(out, "wire_messages", std::to_string(r.wire_messages), false);
+      append_field(out, "wire_total_bytes", std::to_string(r.wire_ledger.total_bytes()),
+                   false);
+      append_field(out, "event_clock_ms", num(r.event_clock_ms), false);
+    }
     if (cell.config.churn.enabled()) {
       append_field(out, "crashed_nodes", std::to_string(r.crashed_nodes), false);
       append_field(out, "joined_nodes", std::to_string(r.joined_nodes), false);

@@ -16,7 +16,7 @@ std::vector<Id> DhtStore::candidate_replicas(const Id& key) {
 }
 
 bool DhtStore::try_deliver(const Id& target, std::uint64_t request_bytes,
-                           int& rpc_failures) {
+                           int& rpc_failures, const net::Message* wire) {
   if (failures_ == nullptr) return true;
   const std::size_t attempts = std::max<std::size_t>(retry_.attempts_per_replica, 1);
   for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
@@ -26,11 +26,24 @@ bool DhtStore::try_deliver(const Id& target, std::uint64_t request_bytes,
     } catch (const net::RpcError&) {
       ++rpc_failures;
       ledger_.retries.record(request_bytes);
+      if (bus_ != nullptr && wire != nullptr) bus_->record_lost(*wire);
       const double backoff = retry_.backoff_before_retry(attempt);
       if (backoff > 0.0 && latency_ != nullptr) latency_->add_ms(backoff);
     }
   }
   return false;
+}
+
+net::Message DhtStore::wire_message(net::Action action, const Id& node,
+                                    const Id& key, const Record* record) const {
+  net::Message message = net::Message::request(action, Id{}, node);
+  message.payload.emplace_back(reinterpret_cast<const char*>(key.bytes().data()),
+                               Id::kBytes);
+  if (record != nullptr) {
+    message.payload.push_back(record->kind);
+    message.payload.push_back(record->payload);
+  }
+  return message;
 }
 
 const std::vector<Record>& DhtStore::records_at(const Id& node, const Id& key) const {
@@ -44,6 +57,10 @@ StoreResult DhtStore::put(const Id& key, Record record) {
       Id::kBytes + record.kind.size() + record.payload.size() + net::kMessageOverheadBytes;
   if (replication_ == 1 && failures_ == nullptr) {
     ledger_.queries.record(request_bytes);
+    if (bus_ != nullptr) {
+      bus_->post(wire_message(net::Action::kStore, where.node, key, &record),
+                 [](const net::Message&) {});
+    }
     stores_[where.node].put(key, std::move(record));
     return StoreResult{where.node, where.hops};
   }
@@ -54,6 +71,10 @@ StoreResult DhtStore::put(const Id& key, Record record) {
     if (placed >= replication_) break;
     if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
     ledger_.queries.record(request_bytes);
+    if (bus_ != nullptr) {
+      bus_->post(wire_message(net::Action::kStore, replica, key, &record),
+                 [](const net::Message&) {});
+    }
     stores_[replica].put(key, record);
     ++placed;
   }
@@ -71,9 +92,27 @@ DhtStore::GetResult DhtStore::get(const Id& key) {
   std::size_t contacted = 0;
   for (const Id& replica : candidate_replicas(key)) {
     if (contacted >= replication_) break;
-    if (!try_deliver(replica, request_bytes, result.rpc_failures)) continue;
+    net::Message wire;
+    if (bus_ != nullptr) wire = wire_message(net::Action::kFetch, replica, key, nullptr);
+    if (!try_deliver(replica, request_bytes, result.rpc_failures,
+                     bus_ != nullptr ? &wire : nullptr)) {
+      continue;
+    }
     ++contacted;
     ledger_.queries.record(request_bytes);
+    if (bus_ != nullptr) {
+      // Serve the fetch from the replica's live store at delivery time.
+      bus_->exchange(std::move(wire), [&](const net::Message& m) {
+        net::Message response = net::Message::response_to(m);
+        const std::vector<Record>& held = records_at(m.to, key);
+        for (const Record& r : held) {
+          response.payload.push_back(r.kind);
+          response.payload.push_back(r.payload);
+        }
+        if (held.empty()) response.status = net::Status::kNotFound;
+        return response;
+      });
+    }
     const std::vector<Record>& records = records_at(replica, key);
     result.node = replica;
     found = &records;
@@ -100,12 +139,23 @@ DhtStore::GetResult DhtStore::get(const Id& key) {
 DhtStore::RemoveResult DhtStore::remove(const Id& key, const Record& record) {
   const dht::LookupResult where = dht_.lookup(key);
   RemoveResult result{where.node, false, where.hops};
+  const auto wire_remove = [&](const Id& node, bool removed) {
+    if (bus_ == nullptr) return;
+    bus_->exchange(wire_message(net::Action::kRemove, node, key, &record),
+                   [&](const net::Message& m) {
+                     net::Message response = net::Message::response_to(m);
+                     response.status =
+                         removed ? net::Status::kOk : net::Status::kNotFound;
+                     return response;
+                   });
+  };
   if (replication_ == 1 && failures_ == nullptr) {
     ledger_.queries.record(Id::kBytes + record.kind.size() + record.payload.size() +
                            net::kMessageOverheadBytes);
     if (NodeStore* store = find_node_store(where.node); store != nullptr) {
       result.removed = store->remove(key, record);
     }
+    wire_remove(where.node, result.removed);
     return result;
   }
   std::size_t visited = 0;
@@ -115,9 +165,12 @@ DhtStore::RemoveResult DhtStore::remove(const Id& key, const Record& record) {
     ++visited;
     ledger_.queries.record(Id::kBytes + record.kind.size() + record.payload.size() +
                            net::kMessageOverheadBytes);
+    bool removed_here = false;
     if (NodeStore* store = find_node_store(replica); store != nullptr) {
-      result.removed = store->remove(key, record) || result.removed;
+      removed_here = store->remove(key, record);
+      result.removed = removed_here || result.removed;
     }
+    wire_remove(replica, removed_here);
   }
   return result;
 }
@@ -131,6 +184,10 @@ std::size_t DhtStore::ensure(const Id& key, const Record& record) {
     ++placed;
     const std::vector<Record>& existing = records_at(replica, key);
     if (std::find(existing.begin(), existing.end(), record) != existing.end()) continue;
+    if (bus_ != nullptr) {
+      bus_->post(wire_message(net::Action::kReplicate, replica, key, &record),
+                 [](const net::Message&) {});
+    }
     stores_[replica].put(key, record);
     ++created;
   }
@@ -186,18 +243,27 @@ std::size_t DhtStore::rebalance() {
     // Take the destination reference first: operator[] may insert, and a
     // FlatMap insertion invalidates references into the map. `from` already
     // exists (we just iterated it), so the second access cannot insert.
-    NodeStore& destination = stores_[to];
-    NodeStore& source = stores_[from];
-    std::vector<Record> records = source.get(key);  // copy before erasing
-    source.erase(key);
+    // Generation-checked Refs trap the bind-order regression PR 5 hit here:
+    // rebinding the accesses would throw instead of reading moved-out memory
+    // (tests/test_query_cache.cpp pins the trap).
+    stores_[to];  // materialize the destination before binding any reference
+    FlatMap<Id, NodeStore>::Ref destination{stores_, to};
+    FlatMap<Id, NodeStore>::Ref source{stores_, from};
+    std::vector<Record> records = source->get(key);  // copy before erasing
+    source->erase(key);
     for (Record& r : records) {
       // The primary may already hold a replica of this record.
-      const std::vector<Record>& existing = destination.get(key);
+      const std::vector<Record>& existing = destination->get(key);
       if (std::find(existing.begin(), existing.end(), r) != existing.end()) continue;
-      destination.put(key, std::move(r));
+      if (bus_ != nullptr) {
+        bus_->post(wire_message(net::Action::kRepair, to, key, &r),
+                   [](const net::Message&) {});
+      }
+      destination->put(key, std::move(r));
       ++moved;
     }
   }
+  if (bus_ != nullptr) bus_->sync();
 
   // Replication repair: membership changes degrade the copy count (a failed
   // replica's records survive elsewhere but with one copy fewer). Re-create
@@ -225,9 +291,15 @@ std::size_t DhtStore::rebalance() {
       if (std::find(existing.begin(), existing.end(), copies[i].second) != existing.end()) {
         continue;
       }
+      if (bus_ != nullptr) {
+        bus_->post(wire_message(net::Action::kRepair, copies[i].first, copy_keys[i],
+                                &copies[i].second),
+                   [](const net::Message&) {});
+      }
       stores_[copies[i].first].put(copy_keys[i], copies[i].second);
       ++moved;
     }
+    if (bus_ != nullptr) bus_->sync();
   }
   return moved;
 }

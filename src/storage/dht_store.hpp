@@ -10,6 +10,7 @@
 
 #include "common/flat_map.hpp"
 #include "dht/dht.hpp"
+#include "net/bus.hpp"
 #include "net/failure.hpp"
 #include "net/latency.hpp"
 #include "net/retry.hpp"
@@ -107,6 +108,13 @@ class DhtStore {
   /// Latency model charged with retry backoff (nullptr = none).
   void set_latency(net::LatencyModel* latency) { latency_ = latency; }
 
+  /// Routes store/fetch/remove/replicate/repair RPCs through a message bus
+  /// (see IndexService::set_bus): each operation additionally travels as a
+  /// typed net::Message whose serialized size lands in the bus's measured
+  /// ledger. nullptr (the default) keeps pure in-process behaviour.
+  void set_bus(net::MessageBus* bus) { bus_ = bus; }
+  net::MessageBus* bus() const { return bus_; }
+
   /// Total stored bytes across all nodes.
   std::uint64_t total_bytes() const;
 
@@ -120,8 +128,15 @@ class DhtStore {
   std::vector<Id> candidate_replicas(const Id& key);
 
   /// Attempts delivery to `target` under the retry policy (see
-  /// IndexService::try_deliver for the accounting contract).
-  bool try_deliver(const Id& target, std::uint64_t request_bytes, int& rpc_failures);
+  /// IndexService::try_deliver for the accounting contract). A wire message,
+  /// when given, has each failed attempt recorded as a lost frame.
+  bool try_deliver(const Id& target, std::uint64_t request_bytes, int& rpc_failures,
+                   const net::Message* wire = nullptr);
+
+  /// Builds a storage-layer wire message carrying `key` (and optionally one
+  /// record's kind and payload) from the client to `node`.
+  net::Message wire_message(net::Action action, const Id& node, const Id& key,
+                            const Record* record) const;
 
   /// Records under `key` on `node` without creating the node's store.
   const std::vector<Record>& records_at(const Id& node, const Id& key) const;
@@ -131,6 +146,7 @@ class DhtStore {
   std::size_t replication_;
   net::FailureInjector* failures_ = nullptr;
   net::LatencyModel* latency_ = nullptr;
+  net::MessageBus* bus_ = nullptr;
   net::RetryPolicy retry_;
   // Sorted flat storage; iterated by rebalance/metrics in ascending node-id
   // order exactly like the std::map it replaced (determinism requirement).

@@ -364,7 +364,8 @@ TEST(AuditReport, TextNamesEveryInvariantAndViolation) {
   const Report report = system.audit();
   const std::string text = report.to_text();
   for (const char* name : {"covering", "reachability", "acyclicity", "placement",
-                           "cache-coherence", "snapshot", "replica-consistency"}) {
+                           "cache-coherence", "snapshot", "replica-consistency",
+                           "ledger-arithmetic"}) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
   EXPECT_NE(text.find("[acyclicity]"), std::string::npos);

@@ -159,6 +159,83 @@ TEST(RetryPolicy, BackoffScheduleIsExponentialAndEndsWithTheBudget) {
   EXPECT_DOUBLE_EQ(deep.backoff_before_retry(4), 0.0);
 }
 
+TEST(RetryPolicy, BackoffTableIsPinnedAcrossPolicies) {
+  // Table-driven regression for the off-by-one class of bug: the first retry
+  // (attempt == 1) must wait exactly backoff_ms -- not backoff_ms * multiplier
+  // -- the multiplier compounds from the second retry on, attempt 0 ("nothing
+  // failed yet") waits nothing, and attempts at or past the budget wait
+  // nothing because no retry follows them.
+  struct Case {
+    RetryPolicy policy;
+    std::size_t attempt;
+    double expected_ms;
+  };
+  const Case table[] = {
+      // Default policy: 2 attempts, 200ms base, x2.
+      {{}, 0, 0.0},
+      {{}, 1, 200.0},  // first retry waits exactly base_wait
+      {{}, 2, 0.0},    // budget reached
+      {{}, 99, 0.0},
+      // No-retry policy: a single attempt never backs off.
+      {{1, 500.0, 2.0}, 0, 0.0},
+      {{1, 500.0, 2.0}, 1, 0.0},
+      // Deep exponential schedule.
+      {{5, 50.0, 2.0}, 1, 50.0},
+      {{5, 50.0, 2.0}, 2, 100.0},
+      {{5, 50.0, 2.0}, 3, 200.0},
+      {{5, 50.0, 2.0}, 4, 400.0},
+      {{5, 50.0, 2.0}, 5, 0.0},
+      // Multiplier 1: constant backoff between every attempt.
+      {{4, 125.0, 1.0}, 1, 125.0},
+      {{4, 125.0, 1.0}, 2, 125.0},
+      {{4, 125.0, 1.0}, 3, 125.0},
+      {{4, 125.0, 1.0}, 4, 0.0},
+  };
+  for (const Case& c : table) {
+    EXPECT_DOUBLE_EQ(c.policy.backoff_before_retry(c.attempt), c.expected_ms)
+        << "attempts=" << c.policy.attempts_per_replica << " base=" << c.policy.backoff_ms
+        << " mult=" << c.policy.backoff_multiplier << " attempt=" << c.attempt;
+  }
+}
+
+TEST(TrafficLedger, TotalsEqualTheSumOverCategories) {
+  // The category split is exclusive: total_bytes()/total_messages() must be
+  // pure arithmetic over categories(), and every named struct field must be
+  // enumerated there (adding a category without listing it breaks this test).
+  TrafficLedger ledger;
+  ledger.queries.record(10);
+  ledger.responses.record(100);
+  ledger.cache.record(40);
+  ledger.routing.record(5);
+  ledger.retries.record(25);
+  ledger.maintenance.record(60);
+
+  EXPECT_EQ(ledger.categories().size(), 6u);
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+  for (const TrafficLedger::NamedCategory& category : ledger.categories()) {
+    bytes += category.stats->bytes();
+    messages += category.stats->messages();
+  }
+  EXPECT_EQ(ledger.total_bytes(), bytes);
+  EXPECT_EQ(ledger.total_bytes(), 240u);
+  EXPECT_EQ(ledger.total_messages(), messages);
+  EXPECT_EQ(ledger.total_messages(), 6u);
+  EXPECT_EQ(ledger.normal_bytes(), ledger.queries.bytes() + ledger.responses.bytes());
+
+  ledger.reset();  // reset() must clear every category, maintenance included
+  EXPECT_EQ(ledger.total_bytes(), 0u);
+  EXPECT_EQ(ledger.total_messages(), 0u);
+  EXPECT_EQ(ledger.maintenance.messages(), 0u);
+}
+
+TEST(TrafficLedger, MaintenanceIsOutsideNormalTraffic) {
+  TrafficLedger ledger;
+  ledger.maintenance.record(500);
+  EXPECT_EQ(ledger.normal_bytes(), 0u);  // upkeep is not Figure 12 normal traffic
+  EXPECT_EQ(ledger.total_bytes(), 500u);
+}
+
 TEST(TrafficLedger, RetriesAreASeparateCategoryInsideTheTotal) {
   TrafficLedger ledger;
   ledger.queries.record(10);

@@ -165,5 +165,89 @@ TEST(FlatMapTest, FindEraseAndTryEmplaceMatchMapSemantics) {
   EXPECT_TRUE(map.empty());
 }
 
+TEST(FlatMapTest, GenerationCountsEveryStructuralMutation) {
+  FlatMap<int, int> map;
+  const auto gen = [&] { return map.generation(); };
+  const std::uint64_t g0 = gen();
+
+  map.try_emplace(1, 10);
+  EXPECT_GT(gen(), g0);
+
+  std::uint64_t g = gen();
+  map.try_emplace(1, 99);  // no-op: key exists, no invalidation
+  EXPECT_EQ(gen(), g);
+  map.find(1);             // reads never bump
+  map.at(1) = 11;          // value writes never bump
+  EXPECT_EQ(gen(), g);
+
+  map.emplace(2, 20);
+  EXPECT_GT(gen(), g);
+  g = gen();
+  map.erase(2);
+  EXPECT_GT(gen(), g);
+  g = gen();
+  map.erase(7);  // erasing a missing key mutates nothing
+  EXPECT_EQ(gen(), g);
+  map.clear();
+  EXPECT_GT(gen(), g);
+  g = gen();
+  map.clear();  // clearing an empty map mutates nothing
+  EXPECT_EQ(gen(), g);
+}
+
+TEST(FlatMapTest, StaleRefTrapsInsteadOfReadingFreedMemory) {
+  // Regression for the PR 5 rebalance bug: a reference to a destination
+  // element was bound *before* a second element was materialized, and the
+  // insertion reallocated the vector out from under it. With Ref the same
+  // bind-order mistake now throws deterministically.
+  FlatMap<int, std::vector<int>> stores;
+  stores.try_emplace(1).first->second = {100};
+
+  FlatMap<int, std::vector<int>>::Ref destination{stores, 1};
+  EXPECT_EQ((*destination)[0], 100);  // fresh ref reads fine
+
+  // The buggy order: mutate the map while still holding the old reference.
+  stores.try_emplace(2);
+  EXPECT_THROW(destination.get(), std::logic_error);
+  EXPECT_THROW(*destination, std::logic_error);
+  EXPECT_THROW(destination->push_back(7), std::logic_error);
+
+  // rebind() after an intentional mutation makes the handle valid again.
+  destination.rebind(1);
+  destination->push_back(200);
+  EXPECT_EQ(stores.at(1), (std::vector<int>{100, 200}));
+}
+
+TEST(FlatMapTest, CorrectBindOrderSurvivesTheRebalancePattern) {
+  // The fixed pattern used by DhtStore::rebalance: materialize the
+  // destination first, then bind both handles, then move data. No mutation
+  // happens between binding and use, so no trap fires.
+  FlatMap<int, std::vector<int>> stores;
+  stores.try_emplace(1).first->second = {1, 2, 3};
+
+  stores[2];  // materialize the destination BEFORE binding any reference
+  FlatMap<int, std::vector<int>>::Ref destination{stores, 2};
+  FlatMap<int, std::vector<int>>::Ref source{stores, 1};
+
+  for (const int record : *source) destination->push_back(record);
+  source->clear();
+  EXPECT_EQ(stores.at(2), (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(stores.at(1).empty());
+}
+
+TEST(FlatMapTest, RefTrapsAfterEraseAndClearToo) {
+  FlatMap<int, int> map;
+  map.try_emplace(1, 10);
+  map.try_emplace(2, 20);
+
+  FlatMap<int, int>::Ref ref{map, 1};
+  map.erase(2);
+  EXPECT_THROW(ref.get(), std::logic_error);
+  ref.rebind(1);
+  EXPECT_EQ(*ref, 10);
+  map.clear();
+  EXPECT_THROW(ref.get(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace dhtidx
