@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "biblio/corpus.hpp"
+#include "biblio/stream.hpp"
 #include "common/json.hpp"
 #include "common/sha1.hpp"
 #include "dht/chord.hpp"
@@ -18,6 +19,7 @@
 #include "index/builder.hpp"
 #include "index/lookup.hpp"
 #include "query/query.hpp"
+#include "workload/streaming.hpp"
 
 namespace {
 
@@ -88,6 +90,29 @@ void BM_QueryMatches(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueryMatches);
+
+// Streaming generators (biblio/stream.hpp, workload/streaming.hpp): the cost
+// of synthesizing one article / one query request from its counter. This is
+// the per-item overhead a streaming cell pays instead of materializing the
+// workload up front.
+void BM_StreamArticle(benchmark::State& state) {
+  static const biblio::ArticleStream stream{biblio::CorpusConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.article(i++ % stream.size()));
+  }
+}
+BENCHMARK(BM_StreamArticle);
+
+void BM_StreamRequest(benchmark::State& state) {
+  static const biblio::ArticleStream stream{biblio::CorpusConfig{}};
+  static const workload::StreamingWorkload workload{stream, 7};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.request_at(i++));
+  }
+}
+BENCHMARK(BM_StreamRequest);
 
 void BM_RingLookup(benchmark::State& state) {
   dht::Ring ring = dht::Ring::with_nodes(static_cast<std::size_t>(state.range(0)));

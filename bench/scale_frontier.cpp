@@ -1,0 +1,334 @@
+// Scale frontier: how far past the paper's world (500 nodes, 10k articles,
+// 50k queries) one machine gets with the streaming + sharded core.
+//
+// Three cell groups, run smallest-first because peak RSS is a process-wide
+// monotone watermark (each cell's reading therefore bounds its own footprint
+// from above; the largest cell's reading is effectively its own):
+//
+//   frontier  world-size ladder 500/10k/50k -> 5k/100k/500k -> 50k/1M/5M
+//             (nodes/articles/queries), Simple scheme, cacheless.
+//   fig11     the Figure 11 scheme comparison (Simple/Flat/Complex) replayed
+//             at 50k nodes / 100k articles / 500k queries.
+//   fig13     the Figure 13 cache-policy ladder (Multi, Single, LRU 10/20/30)
+//             at the same 50k-node world; caching mutates shared shortcut
+//             state, so these cells run single-shard (still streaming).
+//
+// Output: progress tables on stdout, then one JSON line (the last line of
+// output) with every cell's metrics -- capture it with `tail -n 1` into
+// BENCH_scale_frontier.json. `--smoke` swaps in a tiny world, runs it at one
+// shard and at --shards, and exits non-zero unless the results are
+// bit-identical: that is the CI (TSan) guard for the sharding contract.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rss.hpp"
+#include "index/cache.hpp"
+#include "index/scheme.hpp"
+#include "sim/simulation.hpp"
+
+using namespace dhtidx;
+using namespace dhtidx::bench;
+
+namespace {
+
+struct Options {
+  bool smoke = false;
+  std::size_t shards = 2;
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--smoke] [--shards N]\n"
+          "  --smoke      tiny world; verify bit-identity between 1 and N shards\n"
+          "  --shards N   shard count for cacheless cells (default 2)\n",
+          argv[0]);
+      std::exit(0);
+    }
+    const auto parse_count = [&](const char* text) {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(text, &end, 10);
+      if (end == text || *end != '\0' || value == 0) {
+        std::fprintf(stderr, "%s: '%s' is not a shard count\n", argv[0], text);
+        std::exit(2);
+      }
+      return static_cast<std::size_t>(value);
+    };
+    if (arg == "--smoke") {
+      options.smoke = true;
+      continue;
+    }
+    if (arg == "--shards") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --shards expects a count\n", argv[0]);
+        std::exit(2);
+      }
+      options.shards = parse_count(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--shards=", 0) == 0) {
+      options.shards = parse_count(arg.c_str() + 9);
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0], arg.c_str());
+    std::exit(2);
+  }
+  return options;
+}
+
+/// A streaming cell. Authors scale like DBLP (~3.5 articles per author) and
+/// conferences grow with the corpus so the largest index bucket -- the
+/// (conf, year) chain of the Simple scheme -- stays O(articles / conferences
+/// / years) instead of degenerating into one giant posting list.
+sim::SimulationConfig streaming_cell(std::size_t nodes, std::size_t articles,
+                                     std::size_t queries, std::size_t shards) {
+  sim::SimulationConfig config;
+  config.nodes = nodes;
+  config.queries = queries;
+  config.corpus.articles = articles;
+  config.corpus.authors = std::max<std::size_t>(50, articles * 28 / 100);
+  config.corpus.conferences = std::max<std::size_t>(60, articles / 5000);
+  config.seed = 7;
+  config.streaming = true;
+  config.shards = shards;
+  return config;
+}
+
+struct CellReport {
+  std::string group;
+  std::string label;
+  sim::SimulationConfig config;
+  sim::SimulationResults results;
+};
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+std::string cell_json(const CellReport& cell) {
+  const sim::SimulationResults& r = cell.results;
+  const double articles = static_cast<double>(r.articles);
+  const double logical_bytes = static_cast<double>(r.index_bytes + r.data_bytes);
+  std::string out = "{";
+  const auto field = [&out](const std::string& name, const std::string& value,
+                            bool quoted = false) {
+    if (out.size() > 1) out += ",";
+    out += "\"" + name + "\":";
+    out += quoted ? "\"" + json_escape(value) + "\"" : value;
+  };
+  field("group", cell.group, true);
+  field("label", cell.label, true);
+  field("scheme", index::to_string(r.scheme), true);
+  field("policy", index::to_string(r.policy), true);
+  field("cache_capacity", std::to_string(r.cache_capacity));
+  field("shards", std::to_string(cell.config.shards));
+  field("nodes", std::to_string(r.nodes));
+  field("articles", std::to_string(r.articles));
+  field("queries", std::to_string(r.queries));
+  field("build_s", num(r.build_wall_s));
+  field("feed_s", num(r.feed_wall_s));
+  field("articles_per_s",
+        num(r.build_wall_s > 0 ? articles / r.build_wall_s : 0.0));
+  field("lookups_per_s",
+        num(r.feed_wall_s > 0 ? static_cast<double>(r.queries) / r.feed_wall_s : 0.0));
+  field("peak_rss_bytes", std::to_string(r.peak_rss_bytes));
+  field("index_bytes", std::to_string(r.index_bytes));
+  field("data_bytes", std::to_string(r.data_bytes));
+  field("index_mappings", std::to_string(r.index_mappings));
+  field("index_keys", std::to_string(r.index_keys));
+  field("logical_bytes_per_node",
+        num(logical_bytes / static_cast<double>(r.nodes)));
+  field("logical_bytes_per_article", num(logical_bytes / articles));
+  field("rss_bytes_per_article",
+        num(static_cast<double>(r.peak_rss_bytes) / articles));
+  field("avg_interactions", num(r.avg_interactions));
+  field("avg_generalization_steps", num(r.avg_generalization_steps));
+  field("normal_traffic_per_query", num(r.normal_traffic_per_query));
+  field("cache_traffic_per_query", num(r.cache_traffic_per_query));
+  field("hit_ratio", num(r.hit_ratio));
+  field("first_node_hit_share", num(r.first_node_hit_share));
+  field("avg_cached_keys_per_node", num(r.avg_cached_keys_per_node));
+  field("non_indexed_queries", std::to_string(r.non_indexed_queries));
+  field("failed_lookups", std::to_string(r.failed_lookups));
+  out += "}";
+  return out;
+}
+
+CellReport run_cell(const std::string& group, const std::string& label,
+                    const sim::SimulationConfig& config) {
+  std::printf("[cell] %-8s %-22s nodes=%zu articles=%zu queries=%zu shards=%zu ...\n",
+              group.c_str(), label.c_str(), config.nodes, config.corpus.articles,
+              config.queries, config.shards);
+  std::fflush(stdout);
+  CellReport cell{group, label, config, sim::run_simulation(config)};
+  const sim::SimulationResults& r = cell.results;
+  std::printf(
+      "       build %.2fs (%.0f articles/s)  feed %.2fs (%.0f lookups/s)  "
+      "rss %.2f GiB  interactions %.3f  failed %zu\n",
+      r.build_wall_s,
+      r.build_wall_s > 0 ? static_cast<double>(r.articles) / r.build_wall_s : 0.0,
+      r.feed_wall_s,
+      r.feed_wall_s > 0 ? static_cast<double>(r.queries) / r.feed_wall_s : 0.0,
+      static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0 * 1024.0),
+      r.avg_interactions, r.failed_lookups);
+  std::fflush(stdout);
+  return cell;
+}
+
+/// Field-by-field bit-identity check used by --smoke; returns the names of
+/// any fields that differ.
+std::vector<std::string> diff_results(const sim::SimulationResults& a,
+                                      const sim::SimulationResults& b) {
+  std::vector<std::string> bad;
+  const auto check = [&bad](const char* name, bool same) {
+    if (!same) bad.emplace_back(name);
+  };
+  check("avg_interactions", a.avg_interactions == b.avg_interactions);
+  check("avg_generalization_steps",
+        a.avg_generalization_steps == b.avg_generalization_steps);
+  check("normal_traffic_per_query",
+        a.normal_traffic_per_query == b.normal_traffic_per_query);
+  check("cache_traffic_per_query",
+        a.cache_traffic_per_query == b.cache_traffic_per_query);
+  check("hit_ratio", a.hit_ratio == b.hit_ratio);
+  check("first_node_hit_share", a.first_node_hit_share == b.first_node_hit_share);
+  check("avg_regular_keys_per_node",
+        a.avg_regular_keys_per_node == b.avg_regular_keys_per_node);
+  check("node_load_fractions", a.node_load_fractions == b.node_load_fractions);
+  check("non_indexed_queries", a.non_indexed_queries == b.non_indexed_queries);
+  check("failed_lookups", a.failed_lookups == b.failed_lookups);
+  check("index_bytes", a.index_bytes == b.index_bytes);
+  check("data_bytes", a.data_bytes == b.data_bytes);
+  check("index_mappings", a.index_mappings == b.index_mappings);
+  check("index_keys", a.index_keys == b.index_keys);
+  for (std::size_t i = 0; i < a.ledger.categories().size(); ++i) {
+    const auto named_a = a.ledger.categories()[i];
+    const auto named_b = b.ledger.categories()[i];
+    if (named_a.stats->messages() != named_b.stats->messages() ||
+        named_a.stats->bytes() != named_b.stats->bytes()) {
+      bad.emplace_back(std::string("ledger.") + named_a.name);
+    }
+  }
+  return bad;
+}
+
+int run_smoke(const Options& options) {
+  banner("Scale frontier --smoke: sharding bit-identity guard");
+  const std::size_t shards = std::max<std::size_t>(2, options.shards);
+  sim::SimulationConfig base = streaming_cell(64, 500, 2000, 1);
+  base.corpus.authors = 150;
+  base.corpus.conferences = 12;
+
+  const CellReport one = run_cell("smoke", "1 shard", base);
+  sim::SimulationConfig sharded = base;
+  sharded.shards = shards;
+  const CellReport many =
+      run_cell("smoke", std::to_string(shards) + " shards", sharded);
+
+  const std::vector<std::string> bad = diff_results(one.results, many.results);
+  for (const std::string& name : bad) {
+    std::fprintf(stderr, "MISMATCH across shard counts: %s\n", name.c_str());
+  }
+  std::printf("smoke: shards=1 vs shards=%zu -> %s\n", shards,
+              bad.empty() ? "bit-identical" : "MISMATCH");
+  std::printf(
+      "{\"bench\":\"scale_frontier\",\"smoke\":true,\"shards\":%zu,"
+      "\"identical\":%s,\"cells\":[%s,%s]}\n",
+      shards, bad.empty() ? "true" : "false", cell_json(one).c_str(),
+      cell_json(many).c_str());
+  return bad.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  if (options.smoke) return run_smoke(options);
+
+  banner("Scale frontier: the paper's world at 100x on one machine");
+  std::printf("shard count for cacheless cells: %zu\n\n", options.shards);
+  std::vector<CellReport> cells;
+
+  // World-size ladder, paper scale -> 100x articles/queries. Smallest first:
+  // the RSS watermark of each cell then upper-bounds that cell alone.
+  cells.push_back(run_cell("frontier", "paper (500/10k/50k)",
+                           streaming_cell(500, 10000, 50000, options.shards)));
+  cells.push_back(run_cell("frontier", "10x (5k/100k/500k)",
+                           streaming_cell(5000, 100000, 500000, options.shards)));
+
+  // Figure 11 scheme comparison at 50k nodes.
+  for (const index::SchemeKind scheme :
+       {index::SchemeKind::kSimple, index::SchemeKind::kFlat,
+        index::SchemeKind::kComplex}) {
+    sim::SimulationConfig config =
+        streaming_cell(50000, 100000, 500000, options.shards);
+    config.scheme = scheme;
+    cells.push_back(
+        run_cell("fig11", index::to_string(scheme) + " @50k nodes", config));
+  }
+
+  // Figure 13 cache-policy ladder at 50k nodes. Caching feeds mutate shared
+  // shortcut state, so these run single-shard (see sim/sharded.hpp).
+  struct Policy {
+    std::string label;
+    index::CachePolicy policy;
+    std::size_t capacity;
+  };
+  const Policy policies[] = {
+      {"multi cache", index::CachePolicy::kMulti, 0},
+      {"single cache", index::CachePolicy::kSingle, 0},
+      {"lru 10", index::CachePolicy::kLru, 10},
+      {"lru 20", index::CachePolicy::kLru, 20},
+      {"lru 30", index::CachePolicy::kLru, 30},
+  };
+  for (const Policy& p : policies) {
+    sim::SimulationConfig config = streaming_cell(50000, 100000, 500000, 1);
+    config.policy = p.policy;
+    config.cache_capacity = p.capacity;
+    cells.push_back(run_cell("fig13", p.label + " @50k nodes", config));
+  }
+
+  // The 100x frontier cell, last so its watermark is its own.
+  cells.push_back(run_cell("frontier", "100x (50k/1M/5M)",
+                           streaming_cell(50000, 1000000, 5000000, options.shards)));
+
+  banner("Memory budget");
+  row("cell", {"bytes/node", "bytes/article", "rss GiB"});
+  for (const CellReport& cell : cells) {
+    const sim::SimulationResults& r = cell.results;
+    const double logical = static_cast<double>(r.index_bytes + r.data_bytes);
+    row(cell.label,
+        {fmt(logical / static_cast<double>(r.nodes), 0),
+         fmt(logical / static_cast<double>(r.articles), 0),
+         fmt(static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0 * 1024.0), 2)});
+  }
+
+  std::string json = "{\"bench\":\"scale_frontier\",\"smoke\":false,\"shards\":" +
+                     std::to_string(options.shards) + ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) json += ",";
+    json += cell_json(cells[i]);
+  }
+  json += "]}";
+  std::printf("%s\n", json.c_str());
+  return 0;
+}

@@ -63,21 +63,13 @@ std::string capitalize(std::string word) {
 
 }  // namespace
 
-Corpus::Corpus(std::vector<Article> articles) : articles_(std::move(articles)) {
-  for (std::size_t i = 0; i < articles_.size(); ++i) articles_[i].id = i;
-}
-
-Corpus Corpus::generate(const CorpusConfig& config) {
-  if (config.articles == 0 || config.authors == 0 || config.conferences == 0) {
-    throw InvariantError("corpus config requires positive counts");
-  }
-  Rng rng{config.seed};
-
+std::vector<std::pair<std::string, std::string>> generate_author_pool(std::size_t count,
+                                                                      Rng& rng) {
   // Author pool: unique (first, last) pairs.
   std::vector<std::pair<std::string, std::string>> authors;
-  authors.reserve(config.authors);
+  authors.reserve(count);
   std::set<std::pair<std::string, std::string>> seen_authors;
-  while (authors.size() < config.authors) {
+  while (authors.size() < count) {
     std::string first = kFirstNames[rng.next_index(std::size(kFirstNames))];
     std::string last = kLastStems[rng.next_index(std::size(kLastStems))];
     if (!seen_authors.emplace(first, last).second) {
@@ -88,17 +80,39 @@ Corpus Corpus::generate(const CorpusConfig& config) {
     }
     authors.emplace_back(std::move(first), std::move(last));
   }
+  return authors;
+}
 
-  // Venue pool.
+std::vector<std::string> generate_venue_pool(std::size_t count) {
   std::vector<std::string> venues;
-  venues.reserve(config.conferences);
-  for (std::size_t i = 0; i < config.conferences; ++i) {
+  venues.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     std::string name = kVenueStems[i % std::size(kVenueStems)];
     if (i >= std::size(kVenueStems)) {
       name += "-" + std::to_string(i / std::size(kVenueStems) + 1);
     }
     venues.push_back(std::move(name));
   }
+  return venues;
+}
+
+std::size_t title_word_count() { return std::size(kTitleWords); }
+
+const char* title_word(std::size_t index) { return kTitleWords[index]; }
+
+Corpus::Corpus(std::vector<Article> articles) : articles_(std::move(articles)) {
+  for (std::size_t i = 0; i < articles_.size(); ++i) articles_[i].id = i;
+}
+
+Corpus Corpus::generate(const CorpusConfig& config) {
+  if (config.articles == 0 || config.authors == 0 || config.conferences == 0) {
+    throw InvariantError("corpus config requires positive counts");
+  }
+  Rng rng{config.seed};
+
+  const std::vector<std::pair<std::string, std::string>> authors =
+      generate_author_pool(config.authors, rng);
+  const std::vector<std::string> venues = generate_venue_pool(config.conferences);
 
   const ZipfSampler author_sampler{config.authors, config.author_zipf};
   const ZipfSampler venue_sampler{config.conferences, config.conference_zipf};

@@ -64,4 +64,20 @@ class Corpus {
   std::vector<Article> articles_;
 };
 
+/// The deterministic name pools Corpus::generate draws from, exposed so the
+/// streaming generator (biblio::ArticleStream) synthesizes articles from the
+/// exact same material. Both consume `rng`/use the index scheme exactly as
+/// Corpus::generate always did, so extracting them changed no output.
+
+/// Unique (first, last) author pairs; consumes `rng`.
+std::vector<std::pair<std::string, std::string>> generate_author_pool(std::size_t count,
+                                                                      Rng& rng);
+
+/// Venue names: stem table cycled with a numeric suffix past one full cycle.
+std::vector<std::string> generate_venue_pool(std::size_t count);
+
+/// The title-word vocabulary (index must be < title_word_count()).
+std::size_t title_word_count();
+const char* title_word(std::size_t index);
+
 }  // namespace dhtidx::biblio

@@ -1,0 +1,72 @@
+#include "biblio/stream.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dhtidx::biblio {
+
+namespace {
+
+// Domain separation: pool construction and per-article draws must not reuse
+// the raw config seed (the pools already consumed a stream derived from it).
+constexpr std::uint64_t kArticleSalt = 0x57A97EA317AC1Eull;
+
+std::string capitalize(std::string word) {
+  if (!word.empty() && word[0] >= 'a' && word[0] <= 'z') {
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  }
+  return word;
+}
+
+}  // namespace
+
+ArticleStream::ArticleStream(const CorpusConfig& config)
+    : config_(config),
+      authors_([&config] {
+        if (config.articles == 0 || config.authors == 0 || config.conferences == 0) {
+          throw InvariantError("corpus config requires positive counts");
+        }
+        Rng pool_rng{config.seed};
+        return generate_author_pool(config.authors, pool_rng);
+      }()),
+      venues_(generate_venue_pool(config.conferences)),
+      author_sampler_(config.authors, config.author_zipf),
+      venue_sampler_(config.conferences, config.conference_zipf),
+      year_span_(config.last_year - config.first_year + 1) {}
+
+Article ArticleStream::article(std::size_t index) const {
+  if (index >= config_.articles) {
+    throw InvariantError("article index out of range");
+  }
+  Rng rng{mix_seed(config_.seed ^ kArticleSalt, index)};
+  Article a;
+  a.id = index;
+  const auto& [first, last] = authors_[author_sampler_.sample(rng) - 1];
+  a.first_name = first;
+  a.last_name = last;
+  a.conference = venues_[venue_sampler_.sample(rng) - 1];
+  // Same ramp as Corpus::generate: two uniforms, keep the later year.
+  const int y1 = static_cast<int>(rng.next_in(0, year_span_ - 1));
+  const int y2 = static_cast<int>(rng.next_in(0, year_span_ - 1));
+  a.year = config_.first_year + std::max(y1, y2);
+  // Titles: 2-4 content words. Uniqueness cannot rely on a corpus-wide
+  // seen-set here (that would serialize generation), so every title carries
+  // its article index — unique by construction, and the MSDs stay distinct.
+  const int words = static_cast<int>(rng.next_in(2, 4));
+  std::string title;
+  for (int w = 0; w < words; ++w) {
+    std::string word = title_word(rng.next_index(title_word_count()));
+    if (w == 0) word = capitalize(std::move(word));
+    if (w > 0) title += ' ';
+    title += word;
+  }
+  title += " (" + std::to_string(index) + ")";
+  a.title = std::move(title);
+  const double factor = 0.4 + 1.2 * rng.next_double();
+  a.file_bytes =
+      static_cast<std::uint64_t>(static_cast<double>(config_.mean_file_bytes) * factor);
+  return a;
+}
+
+}  // namespace dhtidx::biblio

@@ -1,0 +1,54 @@
+// Counter-addressable synthetic corpus.
+//
+// Corpus::generate materializes every article up front, so a 1M-article world
+// costs ~1M Article objects of resident memory before a single descriptor is
+// indexed. ArticleStream keeps only the name pools (authors, venues) resident
+// and synthesizes article i on demand from an Rng seeded with
+// mix_seed(seed', i): article i is a pure function of (config, i), identical
+// no matter when, how often, or from which worker thread it is generated.
+// That counter addressing is what lets the sharded build partition articles
+// across producers and what keeps peak RSS proportional to live index state
+// rather than workload size.
+//
+// The stream is not draw-for-draw identical to Corpus::generate (which
+// threads one RNG through all articles and enforces title uniqueness with a
+// global seen-set — both inherently sequential). It preserves the properties
+// the evaluation depends on: same name pools, same Zipf field skew, same
+// ramping year distribution, same file-size law, and unique titles — by
+// construction here, via an always-appended " (i)" suffix.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "biblio/article.hpp"
+#include "biblio/corpus.hpp"
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+
+namespace dhtidx::biblio {
+
+/// O(1)-per-article generator over the CorpusConfig parameter space.
+class ArticleStream {
+ public:
+  explicit ArticleStream(const CorpusConfig& config);
+
+  /// Synthesizes article `index` (0-based, < size()). Thread-safe: const,
+  /// touches only the immutable pools and a local Rng.
+  Article article(std::size_t index) const;
+
+  std::size_t size() const { return config_.articles; }
+  const CorpusConfig& config() const { return config_; }
+
+ private:
+  CorpusConfig config_;
+  std::vector<std::pair<std::string, std::string>> authors_;
+  std::vector<std::string> venues_;
+  ZipfSampler author_sampler_;
+  ZipfSampler venue_sampler_;
+  int year_span_;
+};
+
+}  // namespace dhtidx::biblio

@@ -52,4 +52,15 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Derives an independent per-item seed from (seed, index) via the SplitMix64
+/// finalizer (the same mix sweep.cpp uses per cell). The streaming generators
+/// seed a fresh Rng from mix_seed for every item, so item i's draws never
+/// depend on how many items were generated before it — or by which worker.
+inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace dhtidx

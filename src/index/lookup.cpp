@@ -19,7 +19,7 @@ const std::vector<IndexNodeState::TargetRef> kNoTargets;
 
 LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_msd) {
   LookupOutcome outcome;
-  net::TrafficLedger& ledger = service_.ledger();
+  net::TrafficLedger& ledger = service_.active_ledger();
   // (node, query asked there) for every index node on the successful path;
   // shortcut creation replays this chain. The walk passes `const Query*` refs
   // throughout: index targets are interner-owned, generalizations live in
@@ -215,7 +215,7 @@ std::vector<Query> LookupEngine::generalization_candidates(const Query& q) {
 void LookupEngine::create_shortcuts(const std::vector<std::pair<Id, const Query*>>& asked,
                                     const Query& target_msd) {
   if (!caching_enabled(config_.policy) || asked.empty()) return;
-  net::TrafficLedger& ledger = service_.ledger();
+  net::TrafficLedger& ledger = service_.active_ledger();
   net::FailureInjector* failures = service_.failures();
   const std::size_t count = multi_placement(config_.policy) ? asked.size() : 1;
   for (std::size_t i = 0; i < count; ++i) {

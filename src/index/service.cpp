@@ -28,7 +28,7 @@ bool IndexService::try_deliver(const Id& target, std::uint64_t request_bytes,
       // land under `retries` only -- the delivered attempt (if any) is what
       // gets charged to `queries`, so the category split stays exclusive.
       ++rpc_failures;
-      ledger_.retries.record(request_bytes);
+      net::active(ledger_).retries.record(request_bytes);
       if (bus_ != nullptr && wire != nullptr) bus_->record_lost(*wire);
       const double backoff = retry_.backoff_before_retry(attempt);
       if (backoff > 0.0) {
@@ -197,7 +197,7 @@ IndexService::ContactResult IndexService::contact(const query::Query& q,
   if (failures_ == nullptr && replication_ == 1) {
     // Seed-identical fast path: one substrate lookup, one query message, the
     // responsible node answers whatever it has.
-    ledger_.queries.record(request_bytes);
+    net::active(ledger_).queries.record(request_bytes);
     if (bus_ != nullptr) wire_lookup(q, primary.node, action, consider_cache);
     result.replicas_tried = 1;
     result.state = find_state(primary.node);
@@ -222,7 +222,7 @@ IndexService::ContactResult IndexService::contact(const query::Query& q,
       continue;
     }
     ++contacted;
-    ledger_.queries.record(request_bytes);
+    net::active(ledger_).queries.record(request_bytes);
     if (bus_ != nullptr) wire_lookup(q, replica, action, consider_cache);
     IndexNodeState* state = find_state(replica);
     const bool useful =
@@ -266,7 +266,7 @@ IndexService::Reply IndexService::lookup(const query::Query& q, net::Action acti
   }
   std::uint64_t response_bytes = net::kMessageOverheadBytes;
   for (const query::Query* t : reply.targets) response_bytes += t->byte_size();
-  ledger_.responses.record(response_bytes);
+  net::active(ledger_).responses.record(response_bytes);
   return reply;
 }
 

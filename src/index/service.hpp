@@ -144,6 +144,13 @@ class IndexService {
   net::TrafficLedger& ledger() { return ledger_; }
   const net::TrafficLedger& ledger() const { return ledger_; }
 
+  /// The ledger accounting must write to right now: the calling thread's
+  /// scoped override when one is installed (sharded feed workers collecting
+  /// into private ledgers), otherwise the service's own. Every accounting
+  /// site — here, in LookupEngine and in DhtStore — routes through this
+  /// indirection.
+  net::TrafficLedger& active_ledger() { return net::active(ledger_); }
+
   /// The service-wide query pool. Heap-allocated, so its address is stable
   /// across moves of the service itself.
   query::QueryInterner& interner() { return *interner_; }

@@ -89,11 +89,62 @@ struct TrafficLedger {
     retries.reset();
     maintenance.reset();
   }
+
+  /// Sums another ledger into this one, category by category. Pure integer
+  /// arithmetic: folding per-worker ledgers together in any order reproduces
+  /// the sequential totals exactly.
+  void merge(const TrafficLedger& other) {
+    queries.merge(other.queries);
+    responses.merge(other.responses);
+    cache.merge(other.cache);
+    routing.merge(other.routing);
+    retries.merge(other.retries);
+    maintenance.merge(other.maintenance);
+  }
 };
 
 /// Fixed per-message envelope cost (addressing, type, framing) added on top
 /// of payload bytes. One constant keeps query/response/cache accounting
 /// comparable across schemes.
 inline constexpr std::uint64_t kMessageOverheadBytes = 40;
+
+// --- scoped per-thread ledger override --------------------------------------
+//
+// The sharded feed runs many lookup sessions concurrently against one shared
+// IndexService/DhtStore. Cacheless sessions are read-only on all index state;
+// the single shared-mutable object on that path is the TrafficLedger the
+// accounting sites write into. Rather than locking the ledger (serializing
+// the hot path and making message interleaving nondeterministic), each worker
+// installs a thread-local override: every accounting site routes through
+// active(), workers collect into private ledgers, and the driver merge()s
+// them afterwards. With no override installed active() returns the base
+// ledger, so single-threaded behaviour is untouched.
+
+/// The calling thread's override slot (nullptr = no override installed).
+inline TrafficLedger*& scoped_ledger_slot() {
+  thread_local TrafficLedger* slot = nullptr;
+  return slot;
+}
+
+/// The ledger accounting sites must write to: the thread's scoped override
+/// when one is installed, otherwise `base`.
+inline TrafficLedger& active(TrafficLedger& base) {
+  TrafficLedger* const scoped = scoped_ledger_slot();
+  return scoped != nullptr ? *scoped : base;
+}
+
+/// RAII installer for one worker's private ledger.
+class ScopedLedgerOverride {
+ public:
+  explicit ScopedLedgerOverride(TrafficLedger* ledger) : previous_(scoped_ledger_slot()) {
+    scoped_ledger_slot() = ledger;
+  }
+  ~ScopedLedgerOverride() { scoped_ledger_slot() = previous_; }
+  ScopedLedgerOverride(const ScopedLedgerOverride&) = delete;
+  ScopedLedgerOverride& operator=(const ScopedLedgerOverride&) = delete;
+
+ private:
+  TrafficLedger* previous_;
+};
 
 }  // namespace dhtidx::net

@@ -104,6 +104,14 @@ struct SimulationResults {
   double wire_cache_traffic_per_query = 0.0;
   std::uint64_t wire_messages = 0;        ///< frames sent during the feed
   double event_clock_ms = 0.0;            ///< event-queue virtual end time
+
+  // Scale frontier: phase timings and the process memory high-water mark at
+  // the end of the run. Machine-dependent by nature, so none of these appear
+  // in the per-cell sweep JSON (which must stay bit-identical across runs and
+  // across --shards counts); benches report them in their own output.
+  double build_wall_s = 0.0;          ///< index construction wall time
+  double feed_wall_s = 0.0;           ///< query feed wall time
+  std::uint64_t peak_rss_bytes = 0;   ///< process-wide watermark (0 = unavailable)
 };
 
 /// Convenience percentile over an unsorted copy of `values` (p in [0,100]).

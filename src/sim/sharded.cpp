@@ -1,0 +1,482 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rss.hpp"
+#ifdef DHTIDX_AUDIT
+#include "audit/audit.hpp"
+#endif
+#include "dht/ring.hpp"
+#include "index/lookup.hpp"
+#include "index/scheme.hpp"
+#include "workload/streaming.hpp"
+#include "xml/writer.hpp"
+
+namespace dhtidx::sim {
+
+namespace {
+
+using index::CachePolicy;
+using query::Query;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Articles per bulk-synchronous build epoch. Fixed (never derived from the
+/// shard count or machine), so the epoch boundaries — and therefore the
+/// interner's growth schedule — are identical for every S.
+constexpr std::size_t kBuildEpoch = 8192;
+
+constexpr std::uint32_t kNoPending = 0xFFFFFFFFu;
+
+/// One build-phase operation, totally ordered by (vt, seq): vt is the global
+/// article index (disjoint across producers), seq the emission order within
+/// the article. Draining a node's operations in this order reproduces the
+/// sequential build exactly.
+struct Op {
+  std::uint64_t vt = 0;
+  std::uint32_t seq = 0;
+  bool is_store = false;  ///< store a record replica vs publish a mapping
+  Id node;                ///< the owning node this op applies to
+  // Store ops: the record's DHT key and its index in the producer's epoch
+  // record buffer.
+  Id key;
+  std::uint32_t record = 0;
+  // Publish ops: interned refs when the query was already pooled when the
+  // producer saw it, else indices into the producer's epoch intern requests
+  // (resolved by the serial intern sub-phase).
+  const Query* source = nullptr;
+  const Query* target = nullptr;
+  std::uint32_t source_pending = kNoPending;
+  std::uint32_t target_pending = kNoPending;
+};
+
+/// Node id -> owning shard: position in the sorted member list modulo S.
+/// Membership is fixed for the whole run (streaming mode forbids churn).
+class ShardMap {
+ public:
+  ShardMap(std::vector<Id> members, std::size_t shards)
+      : members_(std::move(members)), shards_(shards) {
+    std::sort(members_.begin(), members_.end());
+  }
+
+  std::size_t shard_of(const Id& node) const {
+    const auto it = std::lower_bound(members_.begin(), members_.end(), node);
+    return static_cast<std::size_t>(it - members_.begin()) % shards_;
+  }
+
+  const std::vector<Id>& members() const { return members_; }
+
+ private:
+  std::vector<Id> members_;
+  std::size_t shards_;
+};
+
+/// Per-producer epoch state: the record buffer, the queue per owner shard,
+/// and the intern requests this producer will hand to the serial intern
+/// sub-phase.
+struct Producer {
+  std::vector<storage::Record> records;
+  std::vector<Query> pending;  ///< new queries, in emission order
+  std::unordered_map<std::string, std::uint32_t> pending_index;  ///< canonical -> idx
+  std::vector<const Query*> resolved;  ///< pending[i] -> interned ref
+  std::vector<std::vector<Op>> queues;  ///< one per owner shard, (vt,seq)-sorted
+
+  void reset(std::size_t shards) {
+    records.clear();
+    pending.clear();
+    pending_index.clear();
+    resolved.clear();
+    queues.assign(shards, {});
+  }
+
+  /// Resolves `q` to either an already-pooled ref (read-only interner probe)
+  /// or a producer-local pending slot. The probe is safe concurrently: the
+  /// pool only grows in the serial intern sub-phase between produce phases.
+  void resolve(const query::QueryInterner& interner, Query&& q, const Query*& ref,
+               std::uint32_t& pending_slot) {
+    if (const Query* existing = interner.find_existing(q)) {
+      ref = existing;
+      pending_slot = kNoPending;
+      return;
+    }
+    const std::string canonical = q.canonical();
+    const auto it = pending_index.find(canonical);
+    if (it != pending_index.end()) {
+      ref = nullptr;
+      pending_slot = it->second;
+      return;
+    }
+    pending_slot = static_cast<std::uint32_t>(pending.size());
+    pending_index.emplace(canonical, pending_slot);
+    pending.push_back(std::move(q));
+    ref = nullptr;
+  }
+};
+
+/// Runs `body(0..count-1)` on `count` workers; inline when count == 1 (the
+/// single-shard path uses the exact same code, just without threads). The
+/// join is the phase barrier; the first worker exception is rethrown.
+void run_workers(std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(count);
+  std::vector<std::thread> pool;
+  pool.reserve(count);
+  for (std::size_t w = 0; w < count; ++w) {
+    pool.emplace_back([&errors, &body, w] {
+      try {
+        body(w);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
+void build_streaming_world(const SimulationConfig& config, dht::Dht& dht,
+                           index::IndexService& service, storage::DhtStore& store,
+                           const biblio::ArticleStream& stream) {
+  const std::size_t shards = std::max<std::size_t>(config.shards, 1);
+  const index::IndexingScheme scheme = index::IndexingScheme::make(config.scheme);
+  query::QueryInterner& interner = service.interner();
+  const std::size_t replication = service.replication();
+
+  // Pre-create every node's index partition and record store. The outer
+  // FlatMaps are structurally frozen before any worker runs: parallel phases
+  // only mutate values they own, never the maps themselves (a FlatMap insert
+  // would invalidate every other worker's references).
+  const ShardMap shard_map{dht.node_ids(), shards};
+  for (const Id& node : shard_map.members()) {
+    service.state_at(node);
+    store.node_store(node);
+  }
+
+  std::vector<Producer> producers(shards);
+  const std::size_t total = stream.size();
+
+  for (std::size_t epoch_start = 0; epoch_start < total; epoch_start += kBuildEpoch) {
+    const std::size_t epoch_end = std::min(total, epoch_start + kBuildEpoch);
+    for (Producer& producer : producers) producer.reset(shards);
+
+    // (produce) -- synthesize articles, compute placements, emit operations.
+    // Producer p owns articles i with i % S == p, walked in increasing i, so
+    // each queue is (vt, seq)-sorted by construction.
+    run_workers(shards, [&](std::size_t p) {
+      Producer& producer = producers[p];
+      for (std::size_t i = epoch_start; i < epoch_end; ++i) {
+        if (i % shards != p) continue;
+        const biblio::Article article = stream.article(i);
+        const xml::Element descriptor = article.descriptor();
+        const Query msd = Query::most_specific(descriptor);
+        std::uint32_t seq = 0;
+
+        // The stored file record, one op per replica placement (mirrors
+        // DhtStore::put under a healthy network: the replica set of the
+        // MSD's key, primary first).
+        storage::Record record;
+        record.kind = "file:" + article.file_name();
+        record.payload = xml::write(descriptor, {.pretty = false});
+        record.virtual_payload_bytes = article.file_bytes;
+        const Id file_key = msd.key();
+        const std::uint32_t record_slot = static_cast<std::uint32_t>(producer.records.size());
+        producer.records.push_back(std::move(record));
+        const std::vector<Id> file_replicas = dht.replica_set(file_key, replication);
+        for (std::size_t c = 0; c < file_replicas.size(); ++c) {
+          Op op;
+          op.vt = i;
+          op.seq = seq++;
+          op.is_store = true;
+          op.node = file_replicas[c];
+          op.key = file_key;
+          op.record = record_slot;
+          producer.queues[shard_map.shard_of(op.node)].push_back(op);
+        }
+
+        // The scheme's mappings, one op per replica placement of the source
+        // key (mirrors IndexService::insert_interned).
+        std::vector<index::Mapping> mappings = scheme.mappings_for(msd);
+        for (index::Mapping& m : mappings) {
+          const Id source_key = m.source.key();
+          Op op;
+          op.vt = i;
+          producer.resolve(interner, std::move(m.source), op.source, op.source_pending);
+          producer.resolve(interner, std::move(m.target), op.target, op.target_pending);
+          for (const Id& replica : dht.replica_set(source_key, replication)) {
+            Op placed = op;
+            placed.seq = seq++;
+            placed.node = replica;
+            producer.queues[shard_map.shard_of(replica)].push_back(placed);
+          }
+        }
+      }
+    });
+
+    // (intern) -- the only writes the shared pool ever sees, serialized in
+    // the driver. intern() probes before inserting, so the same query pending
+    // in several producers resolves to one instance.
+    for (Producer& producer : producers) {
+      producer.resolved.reserve(producer.pending.size());
+      for (Query& q : producer.pending) {
+        producer.resolved.push_back(interner.intern(std::move(q)));
+      }
+    }
+
+    // (apply) -- worker t drains the S queues addressed to its shard with an
+    // S-way merge by (vt, seq), applying each operation to the owned node.
+    run_workers(shards, [&](std::size_t t) {
+      std::vector<std::size_t> cursor(shards, 0);
+      while (true) {
+        std::size_t best = shards;
+        std::uint64_t best_vt = 0;
+        std::uint32_t best_seq = 0;
+        for (std::size_t p = 0; p < shards; ++p) {
+          const std::vector<Op>& queue = producers[p].queues[t];
+          if (cursor[p] >= queue.size()) continue;
+          const Op& op = queue[cursor[p]];
+          if (best == shards || op.vt < best_vt ||
+              (op.vt == best_vt && op.seq < best_seq)) {
+            best = p;
+            best_vt = op.vt;
+            best_seq = op.seq;
+          }
+        }
+        if (best == shards) break;
+        // Appliers only ever *read* producer state: a record replicated
+        // across nodes owned by different shards is copied concurrently, so
+        // there must be no mutating fast path (a "move on last replica"
+        // would race with another shard's copy of the same record).
+        const Producer& producer = producers[best];
+        const Op& op = producer.queues[t][cursor[best]++];
+        if (op.is_store) {
+          storage::NodeStore* node_store = store.find_node_store(op.node);
+          node_store->put(op.key, producer.records[op.record]);
+        } else {
+          const Query* source =
+              op.source != nullptr ? op.source : producer.resolved[op.source_pending];
+          const Query* target =
+              op.target != nullptr ? op.target : producer.resolved[op.target_pending];
+          // No covering check here: the scheme guarantees source ⊒ target by
+          // construction and the DHTIDX_AUDIT pass re-verifies it.
+          service.find_state(op.node)->add_interned(source, target, 0);
+        }
+      }
+    });
+  }
+}
+
+SimulationResults run_streaming_simulation(const SimulationConfig& config) {
+  const std::size_t shards = std::max<std::size_t>(config.shards, 1);
+  if (config.substrate != Substrate::kRing) {
+    throw InvariantError("streaming simulation requires the ring substrate");
+  }
+  if (config.churn.enabled()) {
+    throw InvariantError("streaming simulation does not support churn");
+  }
+  if (config.transport != TransportKind::kInProcess) {
+    throw InvariantError("streaming simulation requires the in-process transport");
+  }
+  if (shards > 1 && !config.streaming) {
+    throw InvariantError("shards > 1 requires a streaming world (config.streaming)");
+  }
+  if (shards > 1 && config.policy != CachePolicy::kNone) {
+    throw InvariantError(
+        "shard-concurrent feeds require CachePolicy::kNone (caching sessions "
+        "mutate shared shortcut state; run caching policies with shards = 1)");
+  }
+
+  dht::Ring ring = dht::Ring::with_nodes(config.nodes);
+  net::TrafficLedger ledger;
+  storage::DhtStore store{ring, ledger, config.replication};
+  index::IndexService service{ring, ledger, config.cache_capacity, config.replication};
+  const biblio::ArticleStream stream{config.corpus};
+
+  const auto build_start = std::chrono::steady_clock::now();
+  build_streaming_world(config, ring, service, store, stream);
+  const double build_wall_s = wall_seconds_since(build_start);
+
+#ifdef DHTIDX_AUDIT
+  const index::IndexingScheme audit_scheme = index::IndexingScheme::make(config.scheme);
+  audit::Options audit_options;
+  audit_options.scheme = &audit_scheme;
+  audit::audit_or_throw("post-build", ring, service, store, audit_options);
+#endif
+  // Index construction traffic is not part of the per-query measurements
+  // (same rule as the sequential driver; the sharded build charges nothing,
+  // but the audit hooks above may have).
+  ledger.reset();
+
+  // --- run the query feed ----------------------------------------------------
+  workload::PopularityModel popularity{stream.size(), config.popularity_c,
+                                       config.popularity_alpha};
+  workload::StructureModel structure =
+      config.structure_weights.empty() ? workload::StructureModel{}
+                                       : workload::StructureModel{config.structure_weights};
+  const workload::StreamingWorkload workload{stream, std::move(popularity),
+                                             std::move(structure), config.seed};
+
+  // Per-worker accumulators: integer sums and a private traffic ledger, both
+  // folded after the barrier. Merging is commutative and exact, so the totals
+  // match a sequential feed bit for bit.
+  struct FeedAccumulator {
+    std::uint64_t interactions = 0;
+    std::uint64_t generalizations = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t first_node_hits = 0;
+    std::uint64_t rpc_failures = 0;
+    std::size_t failed_lookups = 0;
+    std::size_t non_indexed = 0;
+    std::size_t degraded = 0;
+    std::size_t gave_up = 0;
+    std::size_t unreachable = 0;
+    std::size_t stale_shortcuts = 0;
+    std::map<Id, std::uint64_t> node_touches;
+    net::TrafficLedger ledger;
+  };
+  std::vector<FeedAccumulator> accumulators(shards);
+
+  const auto feed_start = std::chrono::steady_clock::now();
+  run_workers(shards, [&](std::size_t w) {
+    FeedAccumulator& acc = accumulators[w];
+    const net::ScopedLedgerOverride scope{&acc.ledger};
+    index::LookupEngine engine{service, store, {config.policy}};
+    for (std::size_t i = 0; i < config.queries; ++i) {
+      if (i % shards != w) continue;
+      const workload::StreamingRequest request = workload.request_at(i);
+      const index::LookupOutcome outcome =
+          engine.resolve(request.query, request.target_msd);
+      acc.interactions += static_cast<std::uint64_t>(outcome.interactions);
+      acc.generalizations += static_cast<std::uint64_t>(outcome.generalization_steps);
+      if (!outcome.found) ++acc.failed_lookups;
+      if (outcome.non_indexed) ++acc.non_indexed;
+      if (outcome.cache_hit) {
+        ++acc.hits;
+        if (outcome.cache_hit_position == 1) ++acc.first_node_hits;
+      }
+      acc.rpc_failures += static_cast<std::uint64_t>(outcome.rpc_failures);
+      if (outcome.degraded) ++acc.degraded;
+      if (outcome.gave_up) ++acc.gave_up;
+      if (outcome.unreachable) ++acc.unreachable;
+      acc.stale_shortcuts += static_cast<std::size_t>(outcome.stale_shortcuts);
+      const std::set<Id> unique_nodes(outcome.visited_nodes.begin(),
+                                      outcome.visited_nodes.end());
+      for (const Id& node : unique_nodes) ++acc.node_touches[node];
+    }
+  });
+  const double feed_wall_s = wall_seconds_since(feed_start);
+
+  // --- collect metrics -------------------------------------------------------
+  SimulationResults r;
+  r.scheme = config.scheme;
+  r.policy = config.policy;
+  r.cache_capacity = config.cache_capacity;
+  r.nodes = config.nodes;
+  r.articles = stream.size();
+  r.queries = config.queries;
+  r.replication = config.replication;
+  r.transport = config.transport;
+  r.build_wall_s = build_wall_s;
+  r.feed_wall_s = feed_wall_s;
+  r.peak_rss_bytes = dhtidx::peak_rss_bytes();
+
+  std::uint64_t total_interactions = 0;
+  std::uint64_t total_generalizations = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t first_node_hits = 0;
+  std::map<Id, std::uint64_t> node_touches;
+  for (const FeedAccumulator& acc : accumulators) {
+    total_interactions += acc.interactions;
+    total_generalizations += acc.generalizations;
+    hits += acc.hits;
+    first_node_hits += acc.first_node_hits;
+    r.rpc_failures += acc.rpc_failures;
+    r.failed_lookups += acc.failed_lookups;
+    r.non_indexed_queries += acc.non_indexed;
+    r.degraded_sessions += acc.degraded;
+    r.gave_up_sessions += acc.gave_up;
+    r.unreachable_sessions += acc.unreachable;
+    r.stale_shortcut_invalidations += acc.stale_shortcuts;
+    for (const auto& [node, touches] : acc.node_touches) node_touches[node] += touches;
+    ledger.merge(acc.ledger);
+  }
+
+  const double n_queries = static_cast<double>(config.queries);
+  r.avg_interactions = static_cast<double>(total_interactions) / n_queries;
+  r.avg_generalization_steps = static_cast<double>(total_generalizations) / n_queries;
+  r.normal_traffic_per_query = static_cast<double>(ledger.normal_bytes()) / n_queries;
+  r.cache_traffic_per_query = static_cast<double>(ledger.cache.bytes()) / n_queries;
+  r.hit_ratio = static_cast<double>(hits) / n_queries;
+  r.first_node_hit_share =
+      hits == 0 ? 0.0 : static_cast<double>(first_node_hits) / static_cast<double>(hits);
+  r.ledger = ledger;
+
+  // Cache occupancy over all nodes, as in the sequential driver (non-zero
+  // only for the single-shard caching configurations).
+  std::uint64_t cached_total = 0;
+  std::size_t full = 0;
+  std::size_t empty = 0;
+  std::size_t max_cached = 0;
+  const std::vector<Id> nodes = ring.node_ids();
+  for (const Id& node : nodes) {
+    std::size_t size = 0;
+    if (const index::IndexNodeState* state = service.find_state(node); state != nullptr) {
+      size = state->cache().size();
+    }
+    cached_total += size;
+    max_cached = std::max(max_cached, size);
+    if (size == 0) ++empty;
+    if (config.cache_capacity != 0 && size >= config.cache_capacity) ++full;
+  }
+  const double n_nodes = static_cast<double>(nodes.size());
+  r.avg_cached_keys_per_node = static_cast<double>(cached_total) / n_nodes;
+  r.max_cached_keys = max_cached;
+  r.full_cache_fraction = static_cast<double>(full) / n_nodes;
+  r.empty_cache_fraction = static_cast<double>(empty) / n_nodes;
+
+  const index::IndexService::Totals totals = service.totals();
+  std::size_t stored_keys = 0;
+  for (const auto& [node, node_store] : store.node_stores()) {
+    stored_keys += node_store.key_count();
+  }
+  r.avg_regular_keys_per_node = static_cast<double>(totals.keys + stored_keys) / n_nodes;
+  r.index_keys = totals.keys;
+  r.index_mappings = totals.mappings;
+  r.index_bytes = totals.bytes;
+  r.data_bytes = store.total_bytes();
+
+  r.node_load_fractions.reserve(nodes.size());
+  for (const Id& node : nodes) {
+    const auto it = node_touches.find(node);
+    const double touches = it == node_touches.end() ? 0.0 : static_cast<double>(it->second);
+    r.node_load_fractions.push_back(touches / n_queries);
+  }
+  std::sort(r.node_load_fractions.begin(), r.node_load_fractions.end(), std::greater<>());
+
+#ifdef DHTIDX_AUDIT
+  audit::audit_or_throw("post-run", ring, service, store, audit_options);
+#endif
+
+  return r;
+}
+
+}  // namespace dhtidx::sim

@@ -1,0 +1,63 @@
+// Shard-concurrent streaming simulation core (ROADMAP item 1: the paper's
+// world at 100x scale on one machine).
+//
+// A streaming cell never materializes its workload: articles come from
+// biblio::ArticleStream and queries from workload::StreamingWorkload, both
+// counter-addressable (item i is a pure function of (config, i)), so peak RSS
+// scales with live index state, not workload size. That counter addressing is
+// also what makes sharding sound: any partition of the item space across S
+// workers generates the same items.
+//
+// Execution model (DESIGN.md section 12 has the full rules):
+//
+//  - One shared world. The IndexService (with its query interner), the
+//    DhtStore and the Ring are process-global — per-shard slices would break
+//    `const Query*` identity, the invariant the whole PR 5 hot path rests on.
+//    A shard owns a partition of the *node ids* (position in the sorted
+//    member list modulo S); only the owner ever mutates a node's index
+//    partition or record store.
+//  - Build = bulk-synchronous epochs. Each epoch of articles runs three
+//    sub-phases: (produce) S workers synthesize their articles, compute
+//    records, scheme mappings and replica placements, and emit operations
+//    into per-(producer, owner-shard) queues tagged with (virtual time = the
+//    global article index, seq = emission order within the article);
+//    (intern) the driver serially interns the epoch's new queries — the only
+//    writes the shared interner ever sees; (apply) S workers each merge the
+//    queues addressed to their shard by (vt, seq) and apply the operations to
+//    the nodes they own. vt values are disjoint across producers, so the
+//    merged order is a total order identical to the sequential build's — the
+//    results are bit-identical for every S.
+//  - Feed = embarrassingly parallel sessions. Cacheless (CachePolicy::kNone)
+//    sessions are read-only on all shared state; each worker runs the
+//    sessions with index ≡ worker (mod S), accounts traffic into a private
+//    ledger through net::ScopedLedgerOverride, and the driver folds the
+//    integer accumulators — order-independent, so again bit-identical across
+//    S. Caching policies mutate shared shortcut state per session and are
+//    therefore allowed only at S = 1 (still streaming, still O(live-state)
+//    memory).
+//
+// Restrictions (InvariantError otherwise): Ring substrate, in-process
+// transport, no churn; shards > 1 additionally requires CachePolicy::kNone.
+#pragma once
+
+#include "biblio/stream.hpp"
+#include "index/service.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "storage/dht_store.hpp"
+
+namespace dhtidx::sim {
+
+/// Builds the full index and record store for a streaming world using
+/// config.shards producers/appliers. Exposed so tests can audit a sharded
+/// build directly. `service` and `store` must be empty and share `dht`.
+void build_streaming_world(const SimulationConfig& config, dht::Dht& dht,
+                           index::IndexService& service, storage::DhtStore& store,
+                           const biblio::ArticleStream& stream);
+
+/// Runs one streaming (optionally shard-concurrent) cell end to end.
+/// run_simulation dispatches here when config.streaming or config.shards > 1;
+/// call through run_simulation unless you need the streaming path explicitly.
+SimulationResults run_streaming_simulation(const SimulationConfig& config);
+
+}  // namespace dhtidx::sim

@@ -1,10 +1,12 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 
 #include "common/error.hpp"
+#include "common/rss.hpp"
 #ifdef DHTIDX_AUDIT
 #include "audit/audit.hpp"
 #endif
@@ -14,14 +16,34 @@
 #include "net/transport.hpp"
 #include "dht/pastry.hpp"
 #include "dht/ring.hpp"
+#include "sim/sharded.hpp"
 #include "workload/generator.hpp"
 
 namespace dhtidx::sim {
 
 using index::CachePolicy;
 
+namespace {
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
 SimulationResults run_simulation(const SimulationConfig& config,
                                  const biblio::Corpus* shared_corpus) {
+  if (config.streaming || config.shards > 1) {
+    // Streaming (and therefore sharded) worlds take the counter-addressable
+    // path; the materialized path below stays byte-for-byte untouched so the
+    // paper-scale golden outputs cannot drift.
+    if (shared_corpus != nullptr) {
+      throw InvariantError(
+          "streaming runs synthesize their own corpus (shared_corpus must be null)");
+    }
+    return run_streaming_simulation(config);
+  }
+
   // --- build the world -----------------------------------------------------
   std::optional<biblio::Corpus> local_corpus;
   if (shared_corpus == nullptr) {
@@ -109,10 +131,12 @@ SimulationResults run_simulation(const SimulationConfig& config,
   }
   index::IndexBuilder builder{service, store, index::IndexingScheme::make(config.scheme)};
 
+  const auto build_start = std::chrono::steady_clock::now();
   for (const biblio::Article& article : corpus.articles()) {
     builder.index_file(article.descriptor(), article.file_name(), article.file_bytes);
   }
   bus.sync();  // flush publish/store frames queued during the build
+  const double build_wall_s = wall_seconds_since(build_start);
 #ifdef DHTIDX_AUDIT
   // Phase boundary: the index is fully built, no query has run. Any audit
   // traffic lands before the resets below, so measurements are unaffected.
@@ -161,6 +185,7 @@ SimulationResults run_simulation(const SimulationConfig& config,
   bool churned = false;
   std::vector<Id> crashed_ids;
   std::uint64_t post_churn_interactions = 0;
+  const auto feed_start = std::chrono::steady_clock::now();
   const auto republish_all = [&](std::uint64_t now) {
     for (const biblio::Article& article : corpus.articles()) {
       const std::string name = article.file_name();
@@ -235,6 +260,9 @@ SimulationResults run_simulation(const SimulationConfig& config,
   }
 
   // --- collect metrics -------------------------------------------------------
+  r.build_wall_s = build_wall_s;
+  r.feed_wall_s = wall_seconds_since(feed_start);
+  r.peak_rss_bytes = dhtidx::peak_rss_bytes();
   const double n_queries = static_cast<double>(config.queries);
   r.avg_interactions = static_cast<double>(total_interactions) / n_queries;
   r.avg_generalization_steps = static_cast<double>(total_generalizations) / n_queries;

@@ -83,6 +83,25 @@ struct SimulationConfig {
   /// queues and decodes every frame through the deterministic discrete-event
   /// transport.
   TransportKind transport = TransportKind::kInProcess;
+
+  /// Streaming world: articles and queries are synthesized on demand from
+  /// counter-seeded RNG streams (biblio::ArticleStream +
+  /// workload::StreamingWorkload) instead of materialized vectors, so peak
+  /// RSS scales with live index state rather than workload size. Streaming
+  /// runs require the Ring substrate, the in-process transport and no churn
+  /// (see sim/sharded.hpp for why). The streamed corpus differs from
+  /// Corpus::generate's draw sequence, so streaming cells are a separate
+  /// golden universe from the paper-scale materialized cells.
+  bool streaming = false;
+
+  /// Shard-concurrent execution of a streaming world: node ids are
+  /// partitioned across `shards` worker threads; articles and feed sessions
+  /// are partitioned round-robin; cross-shard build operations travel
+  /// through per-(producer, owner-shard) queues drained in (virtual-time,
+  /// seq) order. Results are bit-identical across shard counts (the --jobs
+  /// guarantee, one level deeper). 0 or 1 = single-threaded. Values > 1
+  /// additionally require streaming = true and CachePolicy::kNone.
+  std::size_t shards = 1;
 };
 
 /// Runs one complete experiment and returns its measurements.

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/rss.hpp"
 
 namespace dhtidx::sim {
 
@@ -143,6 +144,10 @@ std::string json_summary(std::string_view bench_name, const SweepSummary& sweep)
   append_field(out, "jobs", std::to_string(sweep.jobs), false);
   append_field(out, "cells", std::to_string(sweep.cells.size()), false);
   append_field(out, "wall_s", num(sweep.wall_seconds), false);
+  // Process-wide memory watermark at summary time. Machine-dependent, so it
+  // sits at the top level next to wall_s, never inside the per-cell results
+  // (those must stay bit-identical across runs and --shards counts).
+  append_field(out, "peak_rss_bytes", std::to_string(peak_rss_bytes()), false);
   out += ",\"results\":[";
   for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
     const CellResult& cell = sweep.cells[i];

@@ -25,7 +25,7 @@ bool DhtStore::try_deliver(const Id& target, std::uint64_t request_bytes,
       return true;
     } catch (const net::RpcError&) {
       ++rpc_failures;
-      ledger_.retries.record(request_bytes);
+      net::active(ledger_).retries.record(request_bytes);
       if (bus_ != nullptr && wire != nullptr) bus_->record_lost(*wire);
       const double backoff = retry_.backoff_before_retry(attempt);
       if (backoff > 0.0 && latency_ != nullptr) latency_->add_ms(backoff);
@@ -56,7 +56,7 @@ StoreResult DhtStore::put(const Id& key, Record record) {
   const std::uint64_t request_bytes =
       Id::kBytes + record.kind.size() + record.payload.size() + net::kMessageOverheadBytes;
   if (replication_ == 1 && failures_ == nullptr) {
-    ledger_.queries.record(request_bytes);
+    net::active(ledger_).queries.record(request_bytes);
     if (bus_ != nullptr) {
       bus_->post(wire_message(net::Action::kStore, where.node, key, &record),
                  [](const net::Message&) {});
@@ -70,7 +70,7 @@ StoreResult DhtStore::put(const Id& key, Record record) {
   for (const Id& replica : candidate_replicas(key)) {
     if (placed >= replication_) break;
     if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
-    ledger_.queries.record(request_bytes);
+    net::active(ledger_).queries.record(request_bytes);
     if (bus_ != nullptr) {
       bus_->post(wire_message(net::Action::kStore, replica, key, &record),
                  [](const net::Message&) {});
@@ -99,7 +99,7 @@ DhtStore::GetResult DhtStore::get(const Id& key) {
       continue;
     }
     ++contacted;
-    ledger_.queries.record(request_bytes);
+    net::active(ledger_).queries.record(request_bytes);
     if (bus_ != nullptr) {
       // Serve the fetch from the replica's live store at delivery time.
       bus_->exchange(std::move(wire), [&](const net::Message& m) {
@@ -131,7 +131,7 @@ DhtStore::GetResult DhtStore::get(const Id& key) {
     // metadata traffic, not file downloads (Section V-D).
     response_bytes += r.kind.size() + r.payload.size();
   }
-  ledger_.responses.record(response_bytes);
+  net::active(ledger_).responses.record(response_bytes);
   result.records = found;
   return result;
 }
@@ -150,8 +150,8 @@ DhtStore::RemoveResult DhtStore::remove(const Id& key, const Record& record) {
                    });
   };
   if (replication_ == 1 && failures_ == nullptr) {
-    ledger_.queries.record(Id::kBytes + record.kind.size() + record.payload.size() +
-                           net::kMessageOverheadBytes);
+    net::active(ledger_).queries.record(Id::kBytes + record.kind.size() +
+                                        record.payload.size() + net::kMessageOverheadBytes);
     if (NodeStore* store = find_node_store(where.node); store != nullptr) {
       result.removed = store->remove(key, record);
     }
@@ -163,8 +163,8 @@ DhtStore::RemoveResult DhtStore::remove(const Id& key, const Record& record) {
     if (visited >= replication_) break;
     if (failures_ != nullptr && failures_->is_crashed(replica)) continue;
     ++visited;
-    ledger_.queries.record(Id::kBytes + record.kind.size() + record.payload.size() +
-                           net::kMessageOverheadBytes);
+    net::active(ledger_).queries.record(Id::kBytes + record.kind.size() +
+                                        record.payload.size() + net::kMessageOverheadBytes);
     bool removed_here = false;
     if (NodeStore* store = find_node_store(replica); store != nullptr) {
       removed_here = store->remove(key, record);

@@ -1,0 +1,24 @@
+#include "workload/streaming.hpp"
+
+namespace dhtidx::workload {
+
+namespace {
+
+// Domain separation from the article stream's per-index seeds: request i and
+// article i must not share an RNG stream.
+constexpr std::uint64_t kRequestSalt = 0xFEED5EED0B5E55ull;
+
+}  // namespace
+
+StreamingRequest StreamingWorkload::request_at(std::uint64_t index) const {
+  Rng rng{mix_seed(seed_ ^ kRequestSalt, index)};
+  StreamingRequest request;
+  request.article_index = popularity_.sample(rng) - 1;
+  request.structure = structure_.sample(rng);
+  const biblio::Article article = stream_.article(request.article_index);
+  request.query = build_query(article, request.structure);
+  request.target_msd = article.msd();
+  return request;
+}
+
+}  // namespace dhtidx::workload

@@ -1,0 +1,59 @@
+// Streaming query workload (the counter-addressable twin of QueryGenerator).
+//
+// QueryGenerator threads one RNG through the feed, so request i depends on
+// every request before it — fine sequentially, unusable when S workers each
+// run a slice of the feed. StreamingWorkload makes request i a pure function
+// of (seed, i): a fresh Rng seeded with mix_seed(seed', i) draws the article
+// (popularity model) and the query structure, and the article itself comes
+// from an ArticleStream. Any partition of [0, queries) across workers
+// generates exactly the same request set, which is what makes sweep results
+// bit-identical across --shards counts.
+#pragma once
+
+#include <cstdint>
+
+#include "biblio/stream.hpp"
+#include "workload/popularity.hpp"
+#include "workload/structure.hpp"
+
+namespace dhtidx::workload {
+
+/// One generated request plus the target MSD the session resolves toward
+/// (carried here so feed workers never need the materialized corpus).
+struct StreamingRequest {
+  std::size_t article_index = 0;  ///< into the stream (also popularity rank - 1)
+  QueryStructure structure = QueryStructure::kAuthor;
+  query::Query query;
+  query::Query target_msd;
+};
+
+/// Draws requests by counter instead of by sequence.
+class StreamingWorkload {
+ public:
+  /// The stream must outlive the workload. Article popularity rank i maps to
+  /// stream index i-1, mirroring QueryGenerator over a corpus.
+  StreamingWorkload(const biblio::ArticleStream& stream, PopularityModel popularity,
+                    StructureModel structure, std::uint64_t seed)
+      : stream_(stream),
+        popularity_(std::move(popularity)),
+        structure_(std::move(structure)),
+        seed_(seed) {}
+
+  /// Paper defaults over the given stream.
+  StreamingWorkload(const biblio::ArticleStream& stream, std::uint64_t seed)
+      : StreamingWorkload(stream, PopularityModel{stream.size()}, StructureModel{}, seed) {}
+
+  /// Request `index` of the feed. Thread-safe: const, draws from a local Rng.
+  StreamingRequest request_at(std::uint64_t index) const;
+
+  const PopularityModel& popularity() const { return popularity_; }
+  const StructureModel& structure() const { return structure_; }
+
+ private:
+  const biblio::ArticleStream& stream_;
+  PopularityModel popularity_;
+  StructureModel structure_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dhtidx::workload
