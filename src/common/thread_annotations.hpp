@@ -1,0 +1,148 @@
+// Clang Thread Safety Analysis vocabulary for the dhtidx tree.
+//
+// The repo's headline guarantees -- sweep JSON bit-identical across --jobs
+// and across --shards -- rest on lock- and phase-discipline contracts that
+// used to live in comments and TSan runs. These macros turn them into
+// compiler-checked annotations: under clang with -Wthread-safety (the
+// DHTIDX_THREAD_SAFETY CMake option, a blocking CI job) every access to a
+// DHTIDX_GUARDED_BY field must prove it holds the named capability; under
+// every other compiler they expand to nothing, so the gcc build is unchanged.
+//
+// Two capability species are used in this tree:
+//
+//  - dhtidx::Mutex / dhtidx::MutexLock: a real lock. libstdc++'s std::mutex
+//    carries no capability attributes, so the analysis cannot see through
+//    std::lock_guard; this thin wrapper is the annotated equivalent and the
+//    only mutex type new code should declare (dhtidx_lint's unguarded-mutex
+//    check enforces that every mutex member guards at least one field).
+//
+//  - dhtidx::PhaseCapability: a zero-cost fictitious capability standing for
+//    a contract enforced by structure rather than by a lock -- a
+//    barrier-delimited execution phase (the sharded build's produce / intern
+//    / apply sub-phases), a thread_local slot, or single-owner state. It
+//    cannot be acquired; code *asserts* it where the surrounding structure
+//    guarantees exclusivity, and the analyzer then checks that every touch
+//    of a guarded field declares which contract it relies on. DESIGN.md
+//    section 13 is the capability map.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define DHTIDX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DHTIDX_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a capability (diagnostics name it by `x`).
+#define DHTIDX_CAPABILITY(x) DHTIDX_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define DHTIDX_SCOPED_CAPABILITY DHTIDX_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be read while holding the capability shared
+/// and only written while holding it exclusively.
+#define DHTIDX_GUARDED_BY(x) DHTIDX_THREAD_ANNOTATION(guarded_by(x))
+
+/// As DHTIDX_GUARDED_BY, but guards the data a pointer field points at.
+#define DHTIDX_PT_GUARDED_BY(x) DHTIDX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The annotated function may only be called while holding the capabilities
+/// exclusively (callers must already hold them; the function does not
+/// acquire).
+#define DHTIDX_REQUIRES(...) \
+  DHTIDX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// As DHTIDX_REQUIRES, for shared (read) access.
+#define DHTIDX_REQUIRES_SHARED(...) \
+  DHTIDX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability and holds it on return.
+#define DHTIDX_ACQUIRE(...) \
+  DHTIDX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DHTIDX_ACQUIRE_SHARED(...) \
+  DHTIDX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the capability (held on entry).
+#define DHTIDX_RELEASE(...) \
+  DHTIDX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DHTIDX_RELEASE_SHARED(...) \
+  DHTIDX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability iff it returns `x`.
+#define DHTIDX_TRY_ACQUIRE(...) \
+  DHTIDX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (anti-deadlock: the function
+/// acquires it itself).
+#define DHTIDX_EXCLUDES(...) DHTIDX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The annotated function verifies (by structure or at runtime) that the
+/// capability is held, without acquiring it: the analyzer treats it as held
+/// for the remainder of the calling scope.
+#define DHTIDX_ASSERT_CAPABILITY(...) \
+  DHTIDX_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+#define DHTIDX_ASSERT_SHARED_CAPABILITY(...) \
+  DHTIDX_THREAD_ANNOTATION(assert_shared_capability(__VA_ARGS__))
+
+/// The annotated function returns a reference to the named capability.
+#define DHTIDX_RETURN_CAPABILITY(x) DHTIDX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the annotated function body is not analyzed. Every use
+/// needs a comment saying why the analysis cannot see the invariant.
+#define DHTIDX_NO_THREAD_SAFETY_ANALYSIS \
+  DHTIDX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dhtidx {
+
+/// std::mutex with the capability attributes libstdc++ omits. Lock it with
+/// MutexLock so acquisition and release are visible to the analysis.
+class DHTIDX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DHTIDX_ACQUIRE() { mutex_.lock(); }
+  void unlock() DHTIDX_RELEASE() { mutex_.unlock(); }
+  bool try_lock() DHTIDX_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII exclusive lock over a dhtidx::Mutex (the annotated std::lock_guard).
+class DHTIDX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DHTIDX_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() DHTIDX_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// A capability with no runtime lock behind it: exclusivity comes from the
+/// program's structure (a barrier between phases, thread_local storage, a
+/// single owner), so there is nothing to acquire -- code asserts the
+/// capability where the structure guarantees it, at zero cost, and the
+/// analyzer checks that every access to a guarded field names the contract
+/// it relies on. Misuse shows up as a missing assert at compile time, not as
+/// a data race at 100x scale.
+class DHTIDX_CAPABILITY("phase") PhaseCapability {
+ public:
+  /// The surrounding structure gives the caller exclusive (write) rights:
+  /// it is the only thread inside a serial phase, the owner of a
+  /// thread_local slot, or the designated writer of a partition.
+  void assert_exclusive() const DHTIDX_ASSERT_CAPABILITY() {}
+
+  /// The surrounding structure gives the caller shared (read) rights: the
+  /// guarded state is frozen for the duration of a concurrent phase.
+  void assert_shared() const DHTIDX_ASSERT_SHARED_CAPABILITY() {}
+};
+
+}  // namespace dhtidx

@@ -93,6 +93,7 @@ class CanNetwork : public Dht {
   /// The live node whose zone contains `p` (authoritative, non-routing).
   Id owner_of(const CanPoint& p) const;
 
+  // dhtidx-lint: allow(hot-path-map) "substrate membership, mutated only at join/leave; sorted iteration order is part of deterministic node enumeration"
   std::map<Id, Node> nodes_;
   net::TrafficStats routing_stats_;
   Rng rng_;

@@ -171,7 +171,8 @@ class ChordNetwork : public Dht {
   bool ping(const Id& target, int attempts = 3);
 
  private:
-  std::map<Id, std::unique_ptr<ChordNode>> nodes_;  // includes dead ones
+  // dhtidx-lint: allow(hot-path-map) "substrate membership (includes dead nodes), mutated only at join/leave; sorted iteration order is part of deterministic node enumeration"
+  std::map<Id, std::unique_ptr<ChordNode>> nodes_;
   net::TrafficStats routing_stats_;
   net::LatencyModel latency_;
   net::FailureInjector failures_;

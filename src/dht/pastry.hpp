@@ -140,6 +140,7 @@ class PastryNetwork : public Dht {
   bool ping(const Id& target);
 
  private:
+  // dhtidx-lint: allow(hot-path-map) "substrate membership, mutated only at join/leave; sorted iteration order is part of deterministic node enumeration"
   std::map<Id, std::unique_ptr<PastryNode>> nodes_;
   net::TrafficStats routing_stats_;
   net::FailureInjector failures_;

@@ -86,6 +86,7 @@ class IndexBuilder {
   storage::DhtStore& store_;
   IndexingScheme scheme_;
   FieldDictionary* dictionary_ = nullptr;
+  // dhtidx-lint: allow(hot-path-map) "build-time plan staging probed by exact canonical key and never iterated, so the unordered layout is unobservable"
   std::unordered_map<std::string, std::vector<InternedMapping>> plans_;
 };
 

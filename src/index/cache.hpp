@@ -132,9 +132,11 @@ class ShortcutCache {
   std::list<Entry> lru_;  // front = most recently used
   // Keyed by interned pointer identity; neither map is ever iterated, so the
   // unordered layout cannot leak into observable (deterministic) behaviour.
+  // dhtidx-lint: allow(hot-path-map) "exact-key probes only, never iterated (see comment above)"
   std::unordered_map<std::pair<const query::Query*, const query::Query*>,
                      std::list<Entry>::iterator, PairHash>
       by_key_;
+  // dhtidx-lint: allow(hot-path-map) "exact-key probes only, never iterated (see comment above)"
   std::unordered_map<const query::Query*, std::vector<std::list<Entry>::iterator>>
       by_source_;
   std::uint64_t bytes_ = 0;

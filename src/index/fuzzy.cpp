@@ -76,6 +76,7 @@ std::vector<FieldDictionary::Suggestion> FieldDictionary::suggest(
   // Candidate retrieval: values sharing at least one trigram, scored by how
   // many grams they share so the edit-distance pass scans likely matches
   // first.
+  // dhtidx-lint: allow(hot-path-map) "per-call scratch tally; candidates are re-ranked by a deterministic (count, index) order before use"
   std::unordered_map<std::uint32_t, std::size_t> shared;
   for (const std::string& gram : trigrams_of(value)) {
     const auto gram_it = field.trigrams.find(gram);

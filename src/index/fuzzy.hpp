@@ -58,11 +58,13 @@ class FieldDictionary {
     std::vector<std::string> values;  // insertion order, unique
     std::unordered_set<std::string> present;
     // trigram -> indices into values (candidate retrieval)
+    // dhtidx-lint: allow(hot-path-map) "probed by exact gram, never iterated; posting lists keep insertion order"
     std::unordered_map<std::string, std::vector<std::uint32_t>> trigrams;
   };
 
   static std::vector<std::string> trigrams_of(std::string_view value);
 
+  // dhtidx-lint: allow(hot-path-map) "sorted field order is part of the deterministic candidate ordering; correction path, not the per-query DHT path"
   std::map<std::string, FieldIndex> fields_;
 };
 

@@ -184,6 +184,7 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
 
 std::vector<Query> LookupEngine::generalization_candidates(const Query& q) {
   // Group constraint indices by their top-level field.
+  // dhtidx-lint: allow(hot-path-map) "sorted field order drives the deterministic generalization sequence; a handful of entries per query"
   std::map<std::string, std::vector<std::size_t>> groups;
   const auto& constraints = q.constraints();
   for (std::size_t i = 0; i < constraints.size(); ++i) {

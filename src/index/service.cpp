@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -136,6 +137,7 @@ Id IndexService::insert_interned(const query::Query* s, const query::Query* t,
 }
 
 std::size_t IndexService::expire(std::uint64_t cutoff) {
+  topology_.assert_exclusive();  // serial maintenance pass
   std::size_t removed = 0;
   for (auto& [node, state] : states_) removed += state.expire_older_than(cutoff);
   return removed;
@@ -271,20 +273,27 @@ IndexService::Reply IndexService::lookup(const query::Query& q, net::Action acti
 }
 
 IndexNodeState& IndexService::state_at(const Id& node) {
+  // May insert: exclusive structure rights (a FlatMap insert invalidates
+  // every reference another thread might hold into the map).
+  topology_.assert_exclusive();
   return states_.try_emplace(node, cache_capacity_, interner_.get()).first->second;
 }
 
 IndexNodeState* IndexService::find_state(const Id& node) {
-  const auto it = states_.find(node);
-  return it == states_.end() ? nullptr : &it->second;
+  // Read-only on the map structure (shared rights: concurrent sharded
+  // appliers call this against a frozen topology); the partition value it
+  // returns is mutable because value ownership is the caller's contract.
+  return const_cast<IndexNodeState*>(std::as_const(*this).find_state(node));
 }
 
 const IndexNodeState* IndexService::find_state(const Id& node) const {
+  topology_.assert_shared();
   const auto it = states_.find(node);
   return it == states_.end() ? nullptr : &it->second;
 }
 
 std::size_t IndexService::drop_node(const Id& node) {
+  topology_.assert_exclusive();  // erases a partition: serial crash handling
   const auto it = states_.find(node);
   if (it == states_.end()) return 0;
   const std::size_t lost = it->second.mapping_count();
@@ -293,6 +302,7 @@ std::size_t IndexService::drop_node(const Id& node) {
 }
 
 std::size_t IndexService::rebalance() {
+  topology_.assert_exclusive();  // serial repair pass: migrates/erases partitions
   std::size_t changed = 0;
   std::set<Id> members;
   for (const Id& id : dht_.node_ids()) members.insert(id);
@@ -375,6 +385,7 @@ std::size_t IndexService::rebalance() {
       const query::Query* target;
       std::uint64_t stamp;
     };
+    // dhtidx-lint: allow(hot-path-map) "sorted canonical order makes repair placement deterministic; maintenance path, not per-query"
     std::map<std::string, Fact> facts;
     for (const auto& [node, state] : states_) {
       for (const auto& [source, targets] : state.entries()) {
@@ -414,6 +425,7 @@ std::size_t IndexService::rebalance() {
 }
 
 IndexService::Totals IndexService::totals() const {
+  topology_.assert_shared();  // metrics read over a quiescent map
   Totals t;
   for (const auto& [node, state] : states_) {
     t.keys += state.key_count();

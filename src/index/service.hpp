@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "common/flat_map.hpp"
+#include "common/thread_annotations.hpp"
 #include "dht/dht.hpp"
 #include "index/node_state.hpp"
 #include "net/bus.hpp"
@@ -113,12 +114,17 @@ class IndexService {
   Id node_for(const query::Query& q) { return dht_.lookup(q.key()).node; }
 
   /// Mutable per-node state (created on demand with the configured cache
-  /// capacity, interning through the service-wide pool).
+  /// capacity, interning through the service-wide pool). Structure-mutating:
+  /// a FlatMap insert invalidates every outstanding reference, so this must
+  /// never run concurrently with anything -- the sharded build pre-creates
+  /// all partitions before its parallel phases for exactly this reason.
   IndexNodeState& state_at(const Id& node);
 
   /// Checked accessors: the node's partition, or nullptr when it has none.
   /// Unlike state_at these never fabricate an empty node as a side effect of
-  /// reading (auditor/metrics paths must not grow the map they inspect).
+  /// reading (auditor/metrics paths must not grow the map they inspect), and
+  /// are therefore safe for concurrent sharded appliers/feed workers while
+  /// the map structure is frozen.
   IndexNodeState* find_state(const Id& node);
   const IndexNodeState* find_state(const Id& node) const;
 
@@ -137,8 +143,14 @@ class IndexService {
   /// accounted.
   std::size_t rebalance();
 
-  const FlatMap<Id, IndexNodeState>& states() const { return states_; }
-  FlatMap<Id, IndexNodeState>& states() { return states_; }
+  const FlatMap<Id, IndexNodeState>& states() const {
+    topology_.assert_shared();  // single-owner read surface (metrics, auditor)
+    return states_;
+  }
+  FlatMap<Id, IndexNodeState>& states() {
+    topology_.assert_exclusive();  // single-owner mutation surface (tests, persist)
+    return states_;
+  }
 
   dht::Dht& dht() { return dht_; }
   net::TrafficLedger& ledger() { return ledger_; }
@@ -239,7 +251,14 @@ class IndexService {
   net::RetryPolicy retry_;
   double backoff_ms_ = 0.0;
   std::unique_ptr<query::QueryInterner> interner_;
-  FlatMap<Id, IndexNodeState> states_;
+
+  /// Capability over the *structure* of states_ (which nodes have a
+  /// partition). Exclusive = may insert/erase partitions (serial phases
+  /// only: build pre-creation, churn repair, drop_node); shared = structure
+  /// frozen, safe for concurrent readers that only mutate partition values
+  /// they own (the sharded appliers' contract, DESIGN.md section 13).
+  PhaseCapability topology_;
+  FlatMap<Id, IndexNodeState> states_ DHTIDX_GUARDED_BY(topology_);
 };
 
 }  // namespace dhtidx::index

@@ -46,6 +46,7 @@ InteractiveSession& InteractiveSession::back() {
   return *this;
 }
 
+// dhtidx-lint: allow(query-by-value) "issue() reassigns q from references into options_ mid-function; a reference parameter would dangle (see session.hpp)"
 void InteractiveSession::issue(query::Query q) {
   ++interactions_;
   trail_.push_back(q);

@@ -60,6 +60,7 @@ class InteractiveSession {
  private:
   // By value: callers pass references into options_, which issue()
   // reassigns -- a reference parameter would dangle mid-function.
+  // dhtidx-lint: allow(query-by-value) "deliberate lifetime copy, see comment above"
   void issue(query::Query q);
 
   IndexService& service_;

@@ -12,6 +12,7 @@ using query::Query;
 
 std::vector<Query> TwineIndexer::strands(const Query& msd) {
   // Group the MSD constraints by top-level field.
+  // dhtidx-lint: allow(hot-path-map) "sorted field order fixes the strand emission order; a handful of entries per article"
   std::map<std::string, std::vector<std::size_t>> fields;
   const auto& constraints = msd.constraints();
   for (std::size_t i = 0; i < constraints.size(); ++i) {
@@ -29,6 +30,7 @@ std::vector<Query> TwineIndexer::strands(const Query& msd) {
   };
 
   std::vector<Query> strands;
+  // dhtidx-lint: allow(query-by-value) "the lambda consumes q into the strand vector; by value expresses the ownership transfer"
   auto add = [&](Query q) {
     if (!q.has_constraints()) return;
     for (const Query& existing : strands) {

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/thread_annotations.hpp"
+
 namespace dhtidx::net {
 
 /// Message/byte counters for one traffic category.
@@ -120,26 +122,48 @@ inline constexpr std::uint64_t kMessageOverheadBytes = 40;
 // them afterwards. With no override installed active() returns the base
 // ledger, so single-threaded behaviour is untouched.
 
-/// The calling thread's override slot (nullptr = no override installed).
-inline TrafficLedger*& scoped_ledger_slot() {
-  thread_local TrafficLedger* slot = nullptr;
+/// One thread's override slot together with the capability standing for that
+/// thread's ownership of it. Exclusivity is structural -- the slot lives in
+/// thread_local storage, so no other thread can ever reach it -- which is why
+/// the accessors *assert* the capability instead of locking. The annotation
+/// exists so the analyzer proves the discipline: the slot pointer is only
+/// touched by code that names this contract (install/restore in
+/// ScopedLedgerOverride, the read in active()), and any future accounting
+/// path that bypasses active() fails the DHTIDX_THREAD_SAFETY build.
+struct ThreadLedgerSlot {
+  PhaseCapability capability;  ///< per-thread structural ownership of `scoped`
+  TrafficLedger* scoped DHTIDX_GUARDED_BY(capability) = nullptr;
+};
+
+/// The calling thread's slot (nullptr `scoped` = no override installed).
+inline ThreadLedgerSlot& thread_ledger_slot() {
+  thread_local ThreadLedgerSlot slot;
   return slot;
 }
 
 /// The ledger accounting sites must write to: the thread's scoped override
 /// when one is installed, otherwise `base`.
 inline TrafficLedger& active(TrafficLedger& base) {
-  TrafficLedger* const scoped = scoped_ledger_slot();
+  ThreadLedgerSlot& slot = thread_ledger_slot();
+  slot.capability.assert_shared();  // thread_local: reading our own slot
+  TrafficLedger* const scoped = slot.scoped;
   return scoped != nullptr ? *scoped : base;
 }
 
 /// RAII installer for one worker's private ledger.
 class ScopedLedgerOverride {
  public:
-  explicit ScopedLedgerOverride(TrafficLedger* ledger) : previous_(scoped_ledger_slot()) {
-    scoped_ledger_slot() = ledger;
+  explicit ScopedLedgerOverride(TrafficLedger* ledger) {
+    ThreadLedgerSlot& slot = thread_ledger_slot();
+    slot.capability.assert_exclusive();  // thread_local: this is our slot
+    previous_ = slot.scoped;
+    slot.scoped = ledger;
   }
-  ~ScopedLedgerOverride() { scoped_ledger_slot() = previous_; }
+  ~ScopedLedgerOverride() {
+    ThreadLedgerSlot& slot = thread_ledger_slot();
+    slot.capability.assert_exclusive();  // thread_local: this is our slot
+    slot.scoped = previous_;
+  }
   ScopedLedgerOverride(const ScopedLedgerOverride&) = delete;
   ScopedLedgerOverride& operator=(const ScopedLedgerOverride&) = delete;
 

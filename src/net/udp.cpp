@@ -17,6 +17,9 @@ namespace dhtidx::net {
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
+  // strerror's static buffer is fine here: this throws on the single thread
+  // that owns the socket, and the message is copied into the string at once.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   throw Error{what + ": " + std::strerror(errno)};
 }
 

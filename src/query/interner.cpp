@@ -3,6 +3,9 @@
 namespace dhtidx::query {
 
 const Query* QueryInterner::intern_impl(Query&& q) {
+  // Writers run in the serial intern phase (or a single-threaded cell): the
+  // capability is structural, asserted rather than locked.
+  intern_phase_.assert_exclusive();
   const auto it = pool_.find(std::string_view{q.canonical()});
   if (it != pool_.end()) return it->second.get();
   auto owned = std::make_unique<const Query>(std::move(q));

@@ -15,13 +15,20 @@
 // flight, audit snapshots -- stay valid for the interner's lifetime).
 //
 // Not thread-safe: each simulation cell owns its world (and therefore its
-// interner); nothing concurrent ever writes one.
+// interner); nothing concurrent ever writes one. The sharded build (DESIGN.md
+// section 12) leans on exactly that split: concurrent produce-phase workers
+// may *probe* the pool (find_existing), and only the driver's serial intern
+// sub-phase ever grows it. That contract is expressed as a capability below
+// (`intern_phase_`), so the DHTIDX_THREAD_SAFETY build statically rejects any
+// new code path that writes the pool without declaring it runs in the serial
+// phase.
 #pragma once
 
 #include <memory>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/thread_annotations.hpp"
 #include "query/query.hpp"
 
 namespace dhtidx::query {
@@ -48,21 +55,34 @@ class QueryInterner {
 
   /// The canonical instance equal to `q` when one exists, nullptr otherwise.
   /// Probe-only: never grows the pool (lookups of absent queries must not
-  /// leak arena memory).
+  /// leak arena memory), so concurrent produce-phase workers may call it
+  /// while the pool is frozen between serial intern sub-phases.
   const Query* find_existing(const Query& q) const {
+    intern_phase_.assert_shared();  // reads are safe: pool frozen outside the serial phase
     const auto it = pool_.find(std::string_view{q.canonical()});
     return it == pool_.end() ? nullptr : it->second.get();
   }
 
   /// Number of distinct queries interned.
-  std::size_t size() const { return pool_.size(); }
+  std::size_t size() const {
+    intern_phase_.assert_shared();
+    return pool_.size();
+  }
 
  private:
   const Query* intern_impl(Query&& q);
 
+  /// The serial-intern-phase contract as a capability: the pool only grows
+  /// while exactly one thread runs intern (single-threaded cells trivially;
+  /// the sharded build's driver between produce barriers), and is read-only
+  /// frozen whenever workers run concurrently.
+  PhaseCapability intern_phase_;
+
   // Keys are views into each stored query's canonical cache, which is
   // immutable (and heap-stable) once the query is interned.
-  std::unordered_map<std::string_view, std::unique_ptr<const Query>> pool_;
+  // dhtidx-lint: allow(hot-path-map) "hash arena keyed by canonical form; iteration order is never observed, so determinism is unaffected"
+  std::unordered_map<std::string_view, std::unique_ptr<const Query>> pool_
+      DHTIDX_GUARDED_BY(intern_phase_);
 };
 
 }  // namespace dhtidx::query

@@ -14,6 +14,7 @@
 
 #include "common/error.hpp"
 #include "common/rss.hpp"
+#include "common/thread_annotations.hpp"
 #ifdef DHTIDX_AUDIT
 #include "audit/audit.hpp"
 #endif
@@ -88,13 +89,24 @@ class ShardMap {
 /// and the intern requests this producer will hand to the serial intern
 /// sub-phase.
 struct Producer {
-  std::vector<storage::Record> records;
-  std::vector<Query> pending;  ///< new queries, in emission order
-  std::unordered_map<std::string, std::uint32_t> pending_index;  ///< canonical -> idx
-  std::vector<const Query*> resolved;  ///< pending[i] -> interned ref
-  std::vector<std::vector<Op>> queues;  ///< one per owner shard, (vt,seq)-sorted
+  /// Phase capability over the epoch buffers below. Exclusive during the
+  /// produce sub-phase (the owning worker is the sole writer) and the serial
+  /// intern sub-phase (the driver is alone); shared during the apply
+  /// sub-phase, where every worker reads any producer's queues, records and
+  /// resolved refs concurrently — and must therefore never mutate them (the
+  /// "no move-on-last-replica fast path" rule below).
+  PhaseCapability phase_;
+  std::vector<storage::Record> records DHTIDX_GUARDED_BY(phase_);
+  /// New queries, in emission order.
+  std::vector<Query> pending DHTIDX_GUARDED_BY(phase_);
+  /// canonical -> idx into pending.
+  std::unordered_map<std::string, std::uint32_t> pending_index DHTIDX_GUARDED_BY(phase_);
+  /// pending[i] -> interned ref.
+  std::vector<const Query*> resolved DHTIDX_GUARDED_BY(phase_);
+  /// One queue per owner shard, (vt,seq)-sorted by construction.
+  std::vector<std::vector<Op>> queues DHTIDX_GUARDED_BY(phase_);
 
-  void reset(std::size_t shards) {
+  void reset(std::size_t shards) DHTIDX_REQUIRES(phase_) {
     records.clear();
     pending.clear();
     pending_index.clear();
@@ -106,7 +118,7 @@ struct Producer {
   /// or a producer-local pending slot. The probe is safe concurrently: the
   /// pool only grows in the serial intern sub-phase between produce phases.
   void resolve(const query::QueryInterner& interner, Query&& q, const Query*& ref,
-               std::uint32_t& pending_slot) {
+               std::uint32_t& pending_slot) DHTIDX_REQUIRES(phase_) {
     if (const Query* existing = interner.find_existing(q)) {
       ref = existing;
       pending_slot = kNoPending;
@@ -177,13 +189,17 @@ void build_streaming_world(const SimulationConfig& config, dht::Dht& dht,
 
   for (std::size_t epoch_start = 0; epoch_start < total; epoch_start += kBuildEpoch) {
     const std::size_t epoch_end = std::min(total, epoch_start + kBuildEpoch);
-    for (Producer& producer : producers) producer.reset(shards);
+    for (Producer& producer : producers) {
+      producer.phase_.assert_exclusive();  // between epochs: no workers running
+      producer.reset(shards);
+    }
 
     // (produce) -- synthesize articles, compute placements, emit operations.
     // Producer p owns articles i with i % S == p, walked in increasing i, so
     // each queue is (vt, seq)-sorted by construction.
     run_workers(shards, [&](std::size_t p) {
       Producer& producer = producers[p];
+      producer.phase_.assert_exclusive();  // worker p is producer p's sole owner
       for (std::size_t i = epoch_start; i < epoch_end; ++i) {
         if (i % shards != p) continue;
         const biblio::Article article = stream.article(i);
@@ -236,6 +252,7 @@ void build_streaming_world(const SimulationConfig& config, dht::Dht& dht,
     // the driver. intern() probes before inserting, so the same query pending
     // in several producers resolves to one instance.
     for (Producer& producer : producers) {
+      producer.phase_.assert_exclusive();  // serial sub-phase: driver is alone
       producer.resolved.reserve(producer.pending.size());
       for (Query& q : producer.pending) {
         producer.resolved.push_back(interner.intern(std::move(q)));
@@ -251,7 +268,9 @@ void build_streaming_world(const SimulationConfig& config, dht::Dht& dht,
         std::uint64_t best_vt = 0;
         std::uint32_t best_seq = 0;
         for (std::size_t p = 0; p < shards; ++p) {
-          const std::vector<Op>& queue = producers[p].queues[t];
+          const Producer& scanned = producers[p];
+          scanned.phase_.assert_shared();  // apply sub-phase: buffers frozen
+          const std::vector<Op>& queue = scanned.queues[t];
           if (cursor[p] >= queue.size()) continue;
           const Op& op = queue[cursor[p]];
           if (best == shards || op.vt < best_vt ||
@@ -267,6 +286,7 @@ void build_streaming_world(const SimulationConfig& config, dht::Dht& dht,
         // there must be no mutating fast path (a "move on last replica"
         // would race with another shard's copy of the same record).
         const Producer& producer = producers[best];
+        producer.phase_.assert_shared();  // read-only rights, shared with peers
         const Op& op = producer.queues[t][cursor[best]++];
         if (op.is_store) {
           storage::NodeStore* node_store = store.find_node_store(op.node);

@@ -3,12 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
-#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/rss.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dhtidx::sim {
 
@@ -55,6 +56,42 @@ using json::num;
   }
 }
 
+/// First-error slot shared by the pool workers. The mutex is the capability:
+/// under DHTIDX_THREAD_SAFETY the analyzer proves every touch of the slot
+/// happens with it held, so a future fast-path "check before locking" edit
+/// cannot silently reintroduce the race.
+class ErrorCollector {
+ public:
+  /// Records the first (cell, error) pair; later calls are ignored (the
+  /// sweep reports the first failure it saw, like the sequential path).
+  void record(std::size_t cell, std::exception_ptr error) DHTIDX_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    if (!error_) {
+      error_ = std::move(error);
+      cell_ = cell;
+    }
+  }
+
+  /// Rethrows the recorded error, if any. Called after the join barrier, but
+  /// takes the lock anyway: it is uncontended there, and the annotation keeps
+  /// a single locking story for the class.
+  void rethrow_if_any() DHTIDX_EXCLUDES(mutex_) {
+    std::exception_ptr error;
+    std::size_t cell = 0;
+    {
+      const MutexLock lock(mutex_);
+      error = error_;
+      cell = cell_;
+    }
+    if (error) rethrow_named(std::move(error), cell);
+  }
+
+ private:
+  Mutex mutex_;
+  std::exception_ptr error_ DHTIDX_GUARDED_BY(mutex_);
+  std::size_t cell_ DHTIDX_GUARDED_BY(mutex_) = 0;
+};
+
 }  // namespace
 
 std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::size_t cell_index) {
@@ -83,9 +120,7 @@ void parallel_for(std::size_t jobs, std::size_t count,
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> abort{false};
-  std::exception_ptr first_error;
-  std::size_t first_error_cell = 0;
-  std::mutex error_mutex;
+  ErrorCollector errors;
   auto worker = [&] {
     // Fail fast: once any worker records an error, the others stop claiming
     // cells instead of grinding through the rest of the sweep.
@@ -95,11 +130,7 @@ void parallel_for(std::size_t jobs, std::size_t count,
       try {
         body(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock{error_mutex};
-        if (!first_error) {
-          first_error = std::current_exception();
-          first_error_cell = i;
-        }
+        errors.record(i, std::current_exception());
         abort.store(true, std::memory_order_relaxed);
       }
     }
@@ -109,7 +140,7 @@ void parallel_for(std::size_t jobs, std::size_t count,
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  if (first_error) rethrow_named(first_error, first_error_cell);
+  errors.rethrow_if_any();
 }
 
 SweepRunner::SweepRunner(SweepOptions options)

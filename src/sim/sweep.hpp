@@ -14,6 +14,12 @@
 // query::Query memoizes its canonical form in a mutable member, but the
 // shared corpus stores only plain article data -- queries are materialized
 // per call -- so no Query instance is ever shared across workers.
+//
+// The one mutable slot workers do share -- the first-error collector inside
+// parallel_for -- is analyzer-visible since PR 8: its mutex is a
+// dhtidx::Mutex capability and the slot fields are DHTIDX_GUARDED_BY it
+// (common/thread_annotations.hpp; build with -DDHTIDX_THREAD_SAFETY=ON under
+// Clang to prove the locking discipline at compile time).
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,7 @@
 #include "storage/dht_store.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace dhtidx::storage {
@@ -47,11 +48,13 @@ net::Message DhtStore::wire_message(net::Action action, const Id& node,
 }
 
 const std::vector<Record>& DhtStore::records_at(const Id& node, const Id& key) const {
+  topology_.assert_shared();  // probe-only: never grows the map
   const auto it = stores_.find(node);
   return it == stores_.end() ? kNoRecords : it->second.get(key);
 }
 
 StoreResult DhtStore::put(const Id& key, Record record) {
+  topology_.assert_exclusive();  // placement may create a node's store
   const dht::LookupResult where = dht_.lookup(key);
   const std::uint64_t request_bytes =
       Id::kBytes + record.kind.size() + record.payload.size() + net::kMessageOverheadBytes;
@@ -176,6 +179,7 @@ DhtStore::RemoveResult DhtStore::remove(const Id& key, const Record& record) {
 }
 
 std::size_t DhtStore::ensure(const Id& key, const Record& record) {
+  topology_.assert_exclusive();  // republish may re-create a node's store
   std::size_t created = 0;
   std::size_t placed = 0;
   for (const Id& replica : candidate_replicas(key)) {
@@ -206,16 +210,20 @@ bool DhtStore::has_record(const Id& key) {
 }
 
 NodeStore* DhtStore::find_node_store(const Id& node) {
-  const auto it = stores_.find(node);
-  return it == stores_.end() ? nullptr : &it->second;
+  // Read-only on the map structure (shared rights: sharded appliers call
+  // this concurrently against a frozen topology); the store value it returns
+  // is mutable because value ownership is the caller's contract.
+  return const_cast<NodeStore*>(std::as_const(*this).find_node_store(node));
 }
 
 const NodeStore* DhtStore::find_node_store(const Id& node) const {
+  topology_.assert_shared();
   const auto it = stores_.find(node);
   return it == stores_.end() ? nullptr : &it->second;
 }
 
 std::size_t DhtStore::rebalance() {
+  topology_.assert_exclusive();  // serial repair: moves records, may create stores
   std::size_t moved = 0;
   const auto is_dead = [&](const Id& node) {
     return failures_ != nullptr && failures_->is_crashed(node);
@@ -305,6 +313,7 @@ std::size_t DhtStore::rebalance() {
 }
 
 std::size_t DhtStore::drop_node(const Id& node) {
+  topology_.assert_exclusive();  // erases a store: serial crash handling
   const auto it = stores_.find(node);
   if (it == stores_.end()) return 0;
   const std::size_t lost = it->second.record_count();
@@ -313,12 +322,14 @@ std::size_t DhtStore::drop_node(const Id& node) {
 }
 
 std::uint64_t DhtStore::total_bytes() const {
+  topology_.assert_shared();  // metrics read over a quiescent map
   std::uint64_t total = 0;
   for (const auto& [node, store] : stores_) total += store.byte_size();
   return total;
 }
 
 std::size_t DhtStore::total_records() const {
+  topology_.assert_shared();  // metrics read over a quiescent map
   std::size_t total = 0;
   for (const auto& [node, store] : stores_) total += store.record_count();
   return total;

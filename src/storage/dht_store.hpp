@@ -9,6 +9,7 @@
 #pragma once
 
 #include "common/flat_map.hpp"
+#include "common/thread_annotations.hpp"
 #include "dht/dht.hpp"
 #include "net/bus.hpp"
 #include "net/failure.hpp"
@@ -77,16 +78,26 @@ class DhtStore {
   bool has_record(const Id& key);
 
   /// Direct access to a node's local store (metrics, tests, migration).
-  /// Creates an empty store when the node has none.
-  NodeStore& node_store(const Id& node) { return stores_[node]; }
+  /// Creates an empty store when the node has none -- structure-mutating, so
+  /// it must never run concurrently with anything (the sharded build
+  /// pre-creates every store before its parallel phases).
+  NodeStore& node_store(const Id& node) {
+    topology_.assert_exclusive();  // operator[] may insert
+    return stores_[node];
+  }
 
   /// Checked accessors: the node's store, or nullptr when it has none.
   /// Unlike node_store these never fabricate an empty node as a side effect
-  /// of reading (auditor/metrics paths must not grow the map they inspect).
+  /// of reading (auditor/metrics paths must not grow the map they inspect),
+  /// which also makes them the safe surface for concurrent sharded appliers
+  /// while the map structure is frozen.
   NodeStore* find_node_store(const Id& node);
   const NodeStore* find_node_store(const Id& node) const;
 
-  const FlatMap<Id, NodeStore>& node_stores() const { return stores_; }
+  const FlatMap<Id, NodeStore>& node_stores() const {
+    topology_.assert_shared();  // read surface (metrics, auditor)
+    return stores_;
+  }
 
   /// Re-homes every record according to the current Dht membership: records
   /// on nodes outside their key's replica set move to the primary. Returns
@@ -148,9 +159,15 @@ class DhtStore {
   net::LatencyModel* latency_ = nullptr;
   net::MessageBus* bus_ = nullptr;
   net::RetryPolicy retry_;
+
+  /// Capability over the *structure* of stores_ (which nodes have a store).
+  /// Exclusive = may insert/erase stores (serial phases: placement, repair,
+  /// drop_node); shared = structure frozen, concurrent readers may mutate
+  /// only store values they own (the sharded appliers' contract).
+  PhaseCapability topology_;
   // Sorted flat storage; iterated by rebalance/metrics in ascending node-id
   // order exactly like the std::map it replaced (determinism requirement).
-  FlatMap<Id, NodeStore> stores_;
+  FlatMap<Id, NodeStore> stores_ DHTIDX_GUARDED_BY(topology_);
 };
 
 }  // namespace dhtidx::storage

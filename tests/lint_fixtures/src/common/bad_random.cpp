@@ -1,0 +1,8 @@
+// Fixture: banned-random flags ambient entropy and wall-clock reads outside
+// common/rng.hpp.
+#include <cstdlib>
+#include <ctime>
+
+int fixture_entropy() {
+  return std::rand() + static_cast<int>(time(nullptr));
+}

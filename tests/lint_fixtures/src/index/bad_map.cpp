@@ -1,0 +1,4 @@
+// Fixture: hot-path-map flags node-based maps in src/index.
+#include <map>
+
+std::map<int, int> g_fixture_table;

@@ -1,0 +1,7 @@
+// Fixture: pragma-once flags src/ headers lacking the guard.
+
+namespace dhtidx::index {
+
+inline int fixture_answer() { return 42; }
+
+}  // namespace dhtidx::index

@@ -1,0 +1,11 @@
+// Fixture: query-by-value flags by-value query::Query parameters in src/index.
+#pragma once
+
+namespace dhtidx::index {
+
+class FixtureSession {
+ public:
+  void issue(query::Query q);
+};
+
+}  // namespace dhtidx::index

@@ -1,0 +1,11 @@
+// Fixture: banned tokens inside comments and string literals are not code.
+// A std::map<int, int> mentioned here must not trip hot-path-map, and neither
+// must rand() or time(nullptr) in this comment.
+
+/* Nor inside a block comment: std::unordered_map<K, V>, system_clock. */
+
+const char* kFixtureDoc =
+    "std::unordered_map<K, V> in a string is documentation, not code";
+const char* kFixtureRaw = R"(rand() and time(nullptr) inside a raw string)";
+
+int fixture_clean() { return 0; }

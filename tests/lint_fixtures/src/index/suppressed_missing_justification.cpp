@@ -1,0 +1,6 @@
+// Fixture: an allow() without a quoted justification is itself a finding
+// (bad-suppression) and does not disarm the original check.
+#include <map>
+
+// dhtidx-lint: allow(hot-path-map)
+std::map<int, int> g_fixture_undocumented_table;

@@ -1,0 +1,5 @@
+// Fixture: a justified suppression disarms its check on the next line.
+#include <map>
+
+// dhtidx-lint: allow(hot-path-map) "fixture: justified suppressions must disarm the check"
+std::map<int, int> g_fixture_suppressed_table;

@@ -1,0 +1,7 @@
+// Fixture: ledger-discipline flags TrafficLedger category writes whose base
+// variable was not bound from net::active().
+#include "net/stats.hpp"
+
+void fixture_account(dhtidx::net::TrafficLedger& ledger) {
+  ledger.queries.record(12);
+}

@@ -1,0 +1,11 @@
+// Fixture: unguarded-mutex flags a mutex member with no DHTIDX_GUARDED_BY
+// field anywhere in the file.
+#pragma once
+
+#include <mutex>
+
+class FixtureCounter {
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};
