@@ -8,4 +8,9 @@ const char* kFixtureDoc =
     "std::unordered_map<K, V> in a string is documentation, not code";
 const char* kFixtureRaw = R"(rand() and time(nullptr) inside a raw string)";
 
+// A suppression marker inside a string literal is neither a real suppression
+// nor a bad-suppression finding (suppressions live in comments only).
+const char* kFixtureAllow =
+    "dhtidx-lint: allow(bogus) \"a string is not a suppression comment\"";
+
 int fixture_clean() { return 0; }

@@ -5,3 +5,11 @@
 void fixture_account(dhtidx::net::TrafficLedger& ledger) {
   ledger.queries.record(12);
 }
+
+// A blessed binding wrapped across lines (as clang-format may emit) must
+// still disarm the check for writes through `wire`.
+void fixture_account_blessed(dhtidx::net::TrafficLedger& base) {
+  dhtidx::net::TrafficLedger& wire =
+      dhtidx::net::active(base);
+  wire.responses.record(1);
+}

@@ -112,9 +112,21 @@ TEST(Lint, UndocumentedSuppressionDoesNotDisarm) {
 }
 
 TEST(Lint, CommentsAndStringsAreNotCode) {
+  // clean.cpp also embeds an allow(<unknown-check>) suppression marker in a
+  // string literal; suppressions are parsed from comments only, so it must
+  // not trip bad-suppression either.
   const RunResult result = lint_fixture("src/index/clean.cpp");
   EXPECT_EQ(result.exit_code, 0) << result.output;
   EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+TEST(Lint, MultiLineBlessedLedgerBindingIsNotFlagged) {
+  // bad_ledger.cpp binds `wire` from net::active() across a line break; only
+  // the unblessed `ledger` write may be reported.
+  const RunResult result = lint_fixture("src/net/bad_ledger.cpp");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_EQ(result.output.find("wire"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("`ledger`"), std::string::npos) << result.output;
 }
 
 TEST(Lint, RealTreeLintsClean) {

@@ -31,7 +31,7 @@
 //   pragma-once        Every header under src/ carries #pragma once (the
 //                      standalone-header-compile test includes each one
 //                      twice).
-//   bad-suppression    A `// dhtidx-lint: allow(check)` comment must name a
+//   bad-suppression    A `// dhtidx-lint: allow(<check>)` comment must name a
 //                      known check and carry a quoted justification string.
 //
 // Suppressions: `// dhtidx-lint: allow(<check>) "<why>"` disarms <check> on
@@ -43,10 +43,11 @@
 //
 // Paths are classified relative to --root (default: the current directory),
 // so fixture trees lint exactly like the real one via --root
-// tests/lint_fixtures. --recurse walks DIR/src for *.cpp/*.hpp. Files whose
-// relative path enters tests/lint_fixtures/ are skipped unless --root points
-// inside the fixture tree (the fixtures would otherwise fail a whole-repo
-// sweep by design). Exit status: 0 clean, 1 findings, 2 usage/IO error.
+// tests/lint_fixtures. --recurse walks DIR/{src,tools,tests,bench,examples}
+// for *.cpp/*.hpp — the same file set CI lints. Files whose relative path
+// enters tests/lint_fixtures/ are skipped unless --root points inside the
+// fixture tree (the fixtures would otherwise fail a whole-repo sweep by
+// design). Exit status: 0 clean, 1 findings, 2 usage/IO error.
 
 #include <algorithm>
 #include <cctype>
@@ -104,11 +105,20 @@ bool ends_with(const std::string& text, const std::string& suffix) {
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Replaces comments and string/char literal contents with spaces, keeping
-/// line numbers and column positions stable. Handles //, /* */ (multi-line),
-/// "..." with escapes, '...' and raw strings R"delim(...)delim" (multi-line).
-std::vector<std::string> strip_code(const std::vector<std::string>& lines) {
+/// What strip_code blanks besides string/char literal contents. Suppression
+/// parsing keeps comments (that is where suppressions live) but still blanks
+/// literals so a string containing `dhtidx-lint: allow(...)` is documentation,
+/// not a suppression.
+enum class Strip { kCommentsAndStrings, kStringsOnly };
+
+/// Replaces string/char literal contents — and, in kCommentsAndStrings mode,
+/// comments — with spaces, keeping line numbers and column positions stable.
+/// Handles //, /* */ (multi-line), "..." with escapes, '...' and raw strings
+/// R"delim(...)delim" (multi-line).
+std::vector<std::string> strip_code(const std::vector<std::string>& lines,
+                                    Strip mode) {
   enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  const bool keep_comments = mode == Strip::kStringsOnly;
   State state = State::kCode;
   std::string raw_delim;  // for kRawString: the `)delim"` terminator
   std::vector<std::string> out;
@@ -121,8 +131,15 @@ std::vector<std::string> strip_code(const std::vector<std::string>& lines) {
       switch (state) {
         case State::kCode: {
           if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            if (keep_comments) {
+              for (std::size_t j = i; j < line.size(); ++j) code[j] = line[j];
+            }
             i = line.size();  // rest of line is a comment
           } else if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            if (keep_comments) {
+              code[i] = '/';
+              code[i + 1] = '*';
+            }
             state = State::kBlockComment;
             ++i;
           } else if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
@@ -148,7 +165,9 @@ std::vector<std::string> strip_code(const std::vector<std::string>& lines) {
           break;
         }
         case State::kBlockComment:
+          if (keep_comments) code[i] = c;
           if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+            if (keep_comments) code[i + 1] = '/';
             state = State::kCode;
             ++i;
           }
@@ -193,6 +212,9 @@ std::vector<std::string> strip_code(const std::vector<std::string>& lines) {
 /// that 1-based line. A suppression covers its own line and the next one.
 using Suppressions = std::map<std::size_t, std::set<std::string>>;
 
+/// `lines` must be the Strip::kStringsOnly view: comments (where suppressions
+/// live) intact, string/char literal contents blanked so quoted allow()
+/// examples neither suppress nor trip bad-suppression.
 Suppressions parse_suppressions(const std::string& rel,
                                 const std::vector<std::string>& lines,
                                 std::vector<Finding>& findings) {
@@ -288,13 +310,20 @@ void check_ledger_discipline(const std::string& rel,
   // Variables bound from net::active()/active_ledger() are the blessed write
   // handles; chained `net::active(x).queries.record(...)` never matches the
   // write pattern below (the base is a `)`), so only named bases need vetting.
-  static const std::regex kBlessed(R"(TrafficLedger&\s+(\w+)\s*=\s*[^;]*\bactive)");
-  std::set<std::string> blessed;
+  // Bindings are matched over the joined text so a line break anywhere in the
+  // statement (binding on one line, `active(...)` on the next, as clang-format
+  // may wrap it) still blesses the name.
+  static const std::regex kBlessed(
+      R"(TrafficLedger\s*&\s*(\w+)\s*=\s*[^;]*\bactive)");
+  std::string joined;
   for (const std::string& line : code) {
-    auto begin = std::sregex_iterator(line.begin(), line.end(), kBlessed);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      blessed.insert((*it)[1].str());
-    }
+    joined += line;
+    joined += '\n';
+  }
+  std::set<std::string> blessed;
+  for (auto it = std::sregex_iterator(joined.begin(), joined.end(), kBlessed);
+       it != std::sregex_iterator(); ++it) {
+    blessed.insert((*it)[1].str());
   }
   static const std::regex kWrite(
       R"(\b(\w+)\.(queries|responses|cache|routing|retries|maintenance)\.record\s*\()");
@@ -378,8 +407,10 @@ bool lint_file(const fs::path& path, const std::string& rel,
   std::vector<std::string> raw;
   for (std::string line; std::getline(in, line);) raw.push_back(std::move(line));
 
-  const Suppressions allowed = parse_suppressions(rel, raw, findings);
-  const std::vector<std::string> code = strip_code(raw);
+  const Suppressions allowed = parse_suppressions(
+      rel, strip_code(raw, Strip::kStringsOnly), findings);
+  const std::vector<std::string> code =
+      strip_code(raw, Strip::kCommentsAndStrings);
 
   check_banned_random(rel, code, allowed, findings);
   check_hot_path_map(rel, code, allowed, findings);
@@ -396,11 +427,15 @@ bool lintable(const fs::path& path) {
 }
 
 /// `path` relative to `root` with forward slashes, or empty when `path` is
-/// outside `root`.
+/// outside `root` or cannot be resolved. Each filesystem call gets its own
+/// error check so an early failure is not masked by a later success.
 std::string relative_key(const fs::path& path, const fs::path& root) {
   std::error_code ec;
-  const fs::path rel = fs::relative(fs::weakly_canonical(path, ec),
-                                    fs::weakly_canonical(root, ec), ec);
+  const fs::path canon_path = fs::weakly_canonical(path, ec);
+  if (ec) return {};
+  const fs::path canon_root = fs::weakly_canonical(root, ec);
+  if (ec) return {};
+  const fs::path rel = fs::relative(canon_path, canon_root, ec);
   if (ec || rel.empty() || rel.begin()->string() == "..") return {};
   return rel.generic_string();
 }
@@ -408,7 +443,8 @@ std::string relative_key(const fs::path& path, const fs::path& root) {
 int usage(std::ostream& out, int exit_code) {
   out << "usage: dhtidx_lint [--root DIR] [--recurse] [--list] [files...]\n"
          "  --root DIR   classify paths relative to DIR (default: .)\n"
-         "  --recurse    lint every *.cpp/*.hpp under DIR/src\n"
+         "  --recurse    lint every *.cpp/*.hpp under "
+         "DIR/{src,tools,tests,bench,examples}\n"
          "  --list       print the check names and exit\n";
   return exit_code;
 }
@@ -448,10 +484,16 @@ int main(int argc, char** argv) {
               << " is not a directory\n";
     return 2;
   }
+  // Files the user named on the command line get a warning when they cannot
+  // be classified; files found by --recurse are always under the root.
+  const std::set<fs::path> explicit_files(files.begin(), files.end());
   if (recurse) {
-    const fs::path src = root / "src";
-    if (fs::is_directory(src)) {
-      for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    // The same directories CI lints — every tree that holds tracked C++ — so
+    // the RealTreeLintsClean self-test and the CI gate see one file set.
+    for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
+      const fs::path sub = root / dir;
+      if (!fs::is_directory(sub)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(sub)) {
         if (entry.is_regular_file() && lintable(entry.path())) {
           files.push_back(entry.path());
         }
@@ -463,13 +505,21 @@ int main(int argc, char** argv) {
     return usage(std::cerr, 2);
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
   std::vector<Finding> findings;
   bool io_error = false;
   for (const fs::path& file : files) {
     if (!lintable(file)) continue;
     const std::string rel = relative_key(file, root);
-    if (rel.empty()) continue;  // outside the root: no rules apply
+    if (rel.empty()) {  // outside the root: no rules apply
+      if (explicit_files.count(file) > 0) {
+        std::cerr << "dhtidx_lint: warning: " << file.string()
+                  << " resolves outside --root " << root.string()
+                  << "; skipped\n";
+      }
+      continue;
+    }
     // The fixture tree is deliberately full of violations; it only lints when
     // --root points inside it (the tests do exactly that).
     if (rel.find("lint_fixtures/") != std::string::npos) continue;
