@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "dht/can.hpp"
+#include "net/chaos.hpp"
 #include "dht/chord.hpp"
 #include "dht/pastry.hpp"
 #include "dht/ring.hpp"
@@ -89,6 +90,7 @@ Report Auditor::run() {
   if (options_.check_snapshot) check_snapshot(report);
   if (options_.check_replica_consistency) check_replica_consistency(report);
   if (options_.check_ledger) check_ledger(report);
+  if (options_.check_convergence) check_convergence(report);
   return report;
 }
 
@@ -553,6 +555,80 @@ void Auditor::check_ledger(Report& report) {
 
   check_one("analytic", service_.ledger());
   if (service_.bus() != nullptr) check_one("wire", service_.bus()->measured());
+}
+
+// Invariant 9 (post-healing convergence): once the network is quiescent —
+// partitions healed, no crashed nodes, no faults armed — the system must have
+// actually *converged*, not merely survived: the message bus is fully drained
+// (no post pending, nothing in flight) and no shortcut routes through a stale
+// placement, i.e. every shortcut target's record is present within the
+// *current* replica set of its key. That last check is deliberately stricter
+// than invariant 5, which accepts the record stored anywhere: a record
+// stranded outside its replica set by a partition-era placement resolves
+// lookups today but will be missed by repair and replication tomorrow.
+// Replica stamp-identity is invariant 7's half of the contract and runs in
+// the same audit. A non-quiescent world is skipped — an index mid-outage has
+// no converged state to hold it to — unless Options::require_quiescent turns
+// lingering faults themselves into a violation (the post-repair hooks do).
+void Auditor::check_convergence(Report& report) {
+  SectionStats& section = report.section(Invariant::kConvergence);
+
+  const net::FailureInjector* failures = service_.failures();
+  ++section.checked;
+  std::string why;
+  if (failures != nullptr && failures->crashed_count() > 0) {
+    why = std::to_string(failures->crashed_count()) + " node(s) still crashed";
+  } else if (options_.chaos != nullptr && !options_.chaos->quiescent()) {
+    why = "chaos faults or partitions still active";
+  }
+  if (!why.empty()) {
+    if (options_.require_quiescent) {
+      add_violation(report, Invariant::kConvergence, "world",
+                    "not quiescent after healing: " + why);
+    }
+    return;
+  }
+
+  if (const net::MessageBus* bus = service_.bus(); bus != nullptr) {
+    ++section.checked;
+    if (bus->pending_posts() != 0) {
+      add_violation(report, Invariant::kConvergence, "bus",
+                    std::to_string(bus->pending_posts()) +
+                        " one-way post(s) never applied");
+    }
+    ++section.checked;
+    if (!bus->transport().idle()) {
+      add_violation(report, Invariant::kConvergence, "bus",
+                    "frames still queued in the transport after healing");
+    }
+  }
+
+  // Stale-route check, memoized per target key like check_placement.
+  std::unordered_map<std::string, bool> live_memo;
+  for (const auto& [node, state] : service_.states()) {
+    for (const auto& [source, target] : state.cache().entries()) {
+      ++section.checked;
+      const std::string& canonical = target->canonical();
+      auto memo = live_memo.find(canonical);
+      if (memo == live_memo.end()) {
+        bool live = false;
+        for (const Id& replica :
+             dht_.replica_set(target->key(), store_.replication())) {
+          const storage::NodeStore* node_store = store_.find_node_store(replica);
+          if (node_store != nullptr && !node_store->get(target->key()).empty()) {
+            live = true;
+            break;
+          }
+        }
+        memo = live_memo.emplace(canonical, live).first;
+      }
+      if (!memo->second) {
+        add_violation(report, Invariant::kConvergence, source->canonical(),
+                      "shortcut on node " + node.brief() + " routes to '" +
+                          canonical + "' outside its healed replica set");
+      }
+    }
+  }
 }
 
 void audit_or_throw(std::string_view phase, dht::Dht& dht,

@@ -23,6 +23,10 @@
 #include "index/service.hpp"
 #include "storage/dht_store.hpp"
 
+namespace dhtidx::net {
+class ChaosInjector;
+}  // namespace dhtidx::net
+
 namespace dhtidx::audit {
 
 /// What to audit and how hard.
@@ -31,6 +35,18 @@ struct Options {
   /// reachable by iterated lookup from each entry query the scheme generates
   /// for it. Without a scheme the check is skipped (0 checked).
   const index::IndexingScheme* scheme = nullptr;
+
+  /// The chaos adversary wired into the run, when there is one. The
+  /// convergence check consults it for quiescence (partitions healed, no
+  /// faults armed); without it only the failure injector and bus state are
+  /// examined.
+  const net::ChaosInjector* chaos = nullptr;
+
+  /// When true, a non-quiescent world (active chaos, crashed nodes) is a
+  /// convergence *violation*; when false (default) the convergence check is
+  /// skipped for such worlds, since an index mid-outage is not expected to
+  /// have converged yet.
+  bool require_quiescent = false;
 
   /// When set, the snapshot-fidelity check loads *this* document instead of
   /// round-tripping the live system through save_snapshot(); use it to vet an
@@ -46,6 +62,7 @@ struct Options {
   bool check_snapshot = true;
   bool check_replica_consistency = true;
   bool check_ledger = true;
+  bool check_convergence = true;
 
   /// Cap on recorded Violation details per invariant; counting continues
   /// past the cap (SectionStats::violations is always exact).
@@ -77,6 +94,7 @@ class Auditor {
   void check_snapshot(Report& report);
   void check_replica_consistency(Report& report);
   void check_ledger(Report& report);
+  void check_convergence(Report& report);
 
   void add_violation(Report& report, Invariant invariant, std::string subject,
                      std::string detail);

@@ -22,6 +22,8 @@ std::string to_string(Invariant invariant) {
       return "replica-consistency";
     case Invariant::kLedgerArithmetic:
       return "ledger-arithmetic";
+    case Invariant::kConvergence:
+      return "convergence";
   }
   return "?";
 }

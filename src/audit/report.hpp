@@ -27,9 +27,11 @@ enum class Invariant {
                         ///< live replicas of its source key
   kLedgerArithmetic,    ///< traffic categories exclusive: totals equal the
                         ///< sum over categories(), normal = queries+responses
+  kConvergence,         ///< post-healing: chaos quiescent, bus drained, and no
+                        ///< shortcut routes through a stale replica placement
 };
 
-inline constexpr std::size_t kInvariantCount = 8;
+inline constexpr std::size_t kInvariantCount = 9;
 
 std::string to_string(Invariant invariant);
 

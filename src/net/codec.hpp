@@ -33,9 +33,13 @@
 
 namespace dhtidx::net::codec {
 
-/// Current wire format version. Bump on any layout change; decoders reject
-/// other versions with CodecError::Kind::kVersionSkew (see PROTOCOL.md).
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Current wire format version. Bump on any layout *or semantic* change;
+/// decoders reject other versions with CodecError::Kind::kVersionSkew (see
+/// PROTOCOL.md). Version 2 keeps the v1 layout byte-for-byte but tightens
+/// the request-id contract: ids are monotonically derived per sender, and v2
+/// receivers deduplicate non-idempotent applies by id. A v1 peer would
+/// double-apply retransmitted frames, so the versions must not interoperate.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// First two bytes of every frame.
 inline constexpr std::uint8_t kMagic0 = 0xD1;

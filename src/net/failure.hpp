@@ -28,12 +28,27 @@ class FailureInjector {
   explicit FailureInjector(std::uint64_t seed = 0xfa17, double drop_probability = 0.0)
       : rng_(seed), drop_probability_(drop_probability) {}
 
+  virtual ~FailureInjector() = default;
+  FailureInjector(const FailureInjector&) = default;
+  FailureInjector& operator=(const FailureInjector&) = default;
+  FailureInjector(FailureInjector&&) = default;
+  FailureInjector& operator=(FailureInjector&&) = default;
+
   void crash(const Id& node) { crashed_.insert(node); }
-  void recover(const Id& node) { crashed_.erase(node); }
+
+  /// Heals a node. A recovered node answers again immediately: any scripted
+  /// failures armed against it while it was down are discarded, since they
+  /// described the old incarnation of the link.
+  void recover(const Id& node) {
+    crashed_.erase(node);
+    scripted_.erase(node);
+  }
+
   bool is_crashed(const Id& node) const { return crashed_.contains(node); }
   std::size_t crashed_count() const { return crashed_.size(); }
 
   void set_drop_probability(double p) { drop_probability_ = p; }
+  double drop_probability() const { return drop_probability_; }
 
   /// Scripts the next `n` deliveries to `target` to fail deterministically.
   /// Scripted failures are checked before the drop-probability coin flip and
@@ -53,8 +68,11 @@ class FailureInjector {
     return it == scripted_.end() ? 0 : it->second;
   }
 
+  /// Number of targets with scripted failures still armed.
+  std::size_t scripted_count() const { return scripted_.size(); }
+
   /// Throws RpcError when the message to `target` should not be delivered.
-  void check_delivery(const Id& target) {
+  virtual void check_delivery(const Id& target) {
     if (const auto it = scripted_.find(target); it != scripted_.end()) {
       if (--it->second == 0) scripted_.erase(it);
       throw RpcError("scripted failure for " + target.brief());

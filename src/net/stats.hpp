@@ -40,10 +40,14 @@ class TrafficStats {
 };
 
 /// The traffic categories measured by the evaluation. The categories are
-/// exclusive: every recorded message lands in exactly one of them (a retried
-/// RPC's failed attempts go under `retries`, only the delivered attempt under
-/// `queries`), so total_bytes() must equal the sum over categories() — the
-/// auditor checks this arithmetic as an invariant.
+/// exclusive: every recorded *accounting event* lands in exactly one of them.
+/// A retried RPC's failed attempts go under `retries`, only the delivered
+/// attempt under `queries`; a timeout-driven retransmission goes under
+/// `timeouts` (its original transmission was already charged to its own
+/// category); a duplicate delivery is charged once more under `duplicates` at
+/// detection; a frame the codec rejects is charged under `rejected` on top of
+/// its send-side charge. total_bytes() must equal the sum over categories() —
+/// the auditor checks this arithmetic as an invariant.
 struct TrafficLedger {
   TrafficStats queries;      ///< user query messages
   TrafficStats responses;    ///< index/result responses ("normal" traffic)
@@ -51,6 +55,9 @@ struct TrafficLedger {
   TrafficStats routing;      ///< DHT substrate routing messages and acks
   TrafficStats retries;      ///< failed delivery attempts repeated under RetryPolicy
   TrafficStats maintenance;  ///< publish/replicate/repair (soft-state upkeep)
+  TrafficStats timeouts;     ///< retransmissions after an end-to-end timeout
+  TrafficStats duplicates;   ///< duplicate/late deliveries discarded by dedup
+  TrafficStats rejected;     ///< frames the codec rejected (corruption, skew)
 
   /// Name → counters for every category, in a fixed order. Single source of
   /// truth for total_bytes() and the auditor's consistency check.
@@ -58,13 +65,16 @@ struct TrafficLedger {
     const char* name;
     const TrafficStats* stats;
   };
-  std::array<NamedCategory, 6> categories() const {
+  std::array<NamedCategory, 9> categories() const {
     return {{{"queries", &queries},
              {"responses", &responses},
              {"cache", &cache},
              {"routing", &routing},
              {"retries", &retries},
-             {"maintenance", &maintenance}}};
+             {"maintenance", &maintenance},
+             {"timeouts", &timeouts},
+             {"duplicates", &duplicates},
+             {"rejected", &rejected}}};
   }
 
   std::uint64_t normal_bytes() const { return queries.bytes() + responses.bytes(); }
@@ -90,6 +100,9 @@ struct TrafficLedger {
     routing.reset();
     retries.reset();
     maintenance.reset();
+    timeouts.reset();
+    duplicates.reset();
+    rejected.reset();
   }
 
   /// Sums another ledger into this one, category by category. Pure integer
@@ -102,6 +115,9 @@ struct TrafficLedger {
     routing.merge(other.routing);
     retries.merge(other.retries);
     maintenance.merge(other.maintenance);
+    timeouts.merge(other.timeouts);
+    duplicates.merge(other.duplicates);
+    rejected.merge(other.rejected);
   }
 };
 

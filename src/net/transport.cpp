@@ -1,5 +1,6 @@
 #include "net/transport.hpp"
 
+#include "net/chaos.hpp"
 #include "net/codec.hpp"
 
 namespace dhtidx::net {
@@ -16,8 +17,33 @@ std::uint64_t InProcessTransport::send(const Message& message) {
 std::uint64_t EventQueueTransport::send(const Message& message) {
   std::string frame = codec::encode(message);
   const std::uint64_t wire_bytes = frame.size();
-  queue_.push(PendingFrame{clock_ms_ + hop_delay_ms_, next_sequence_++,
-                           std::move(frame)});
+  double deliver_at_ms = clock_ms_ + hop_delay_ms_;
+  bool duplicate = false;
+  if (chaos_ != nullptr) {
+    const FramePlan plan = chaos_->plan_frame(message.from, message.to);
+    switch (plan.fault) {
+      case FrameFault::kDrop:
+        // The frame vanishes on the wire. The sender still paid for it, so
+        // the wire size is returned as usual.
+        return wire_bytes;
+      case FrameFault::kCorrupt:
+        chaos_->corrupt(frame);
+        break;
+      case FrameFault::kDuplicate:
+        duplicate = true;
+        break;
+      case FrameFault::kDelay:
+      case FrameFault::kReorder:
+        deliver_at_ms += plan.extra_delay_ms;
+        break;
+      case FrameFault::kNone:
+        break;
+    }
+  }
+  if (duplicate) {
+    queue_.push(PendingFrame{deliver_at_ms, next_sequence_++, frame});
+  }
+  queue_.push(PendingFrame{deliver_at_ms, next_sequence_++, std::move(frame)});
   return wire_bytes;
 }
 
@@ -31,7 +57,19 @@ void EventQueueTransport::pump() {
     if (next.deliver_at_ms > clock_ms_) {
       clock_ms_ = next.deliver_at_ms;
     }
-    const Message message = codec::decode(next.frame);
+    Message message;
+    try {
+      message = codec::decode(next.frame);
+    } catch (const codec::CodecError&) {
+      // Damaged frame: it still consumed the wire and delivery slot (the
+      // trace records it), but the payload never reaches the sink.
+      ++rejected_;
+      trace_.push_back(next.sequence);
+      if (sink_ != nullptr) {
+        sink_->on_rejected(next.frame.size());
+      }
+      continue;
+    }
     ++delivered_;
     trace_.push_back(next.sequence);
     if (sink_ != nullptr) {

@@ -30,15 +30,29 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "net/message.hpp"
 
 namespace dhtidx::net {
+
+class ChaosInjector;
+
+/// Thrown when a transport syscall fails (socket setup, send, poll). A typed
+/// subclass so callers can tell an I/O failure from a protocol error.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error("transport: " + what) {}
+};
 
 /// Receives delivered messages together with their wire size in bytes.
 class MessageSink {
  public:
   virtual ~MessageSink() = default;
   virtual void on_message(const Message& message, std::uint64_t wire_bytes) = 0;
+
+  /// A frame arrived but the codec rejected it (corruption, version skew).
+  /// Default: ignore — only accounting layers care.
+  virtual void on_rejected(std::uint64_t wire_bytes) { (void)wire_bytes; }
 };
 
 /// Common transport interface. send() returns the frame's wire size so the
@@ -57,6 +71,12 @@ class Transport {
 
   /// True when nothing is in flight.
   virtual bool idle() const = 0;
+
+  /// Lets protocol layers charge wall-free waiting (retransmission backoff)
+  /// to the transport's notion of time. Virtual-time transports advance
+  /// their clock; real-time transports ignore it (their callers block for
+  /// real instead).
+  virtual void wait(double ms) { (void)ms; }
 
   void set_sink(MessageSink* sink) { sink_ = sink; }
 
@@ -96,6 +116,17 @@ class EventQueueTransport : public Transport {
 
   double clock_ms() const { return clock_ms_; }
   std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+  /// Advances virtual time without delivering anything: queued frames keep
+  /// their schedule, so waiting can make in-flight frames "arrive" on the
+  /// next pump. Used by the bus to charge retransmission backoff.
+  void wait(double ms) override {
+    if (ms > 0.0) clock_ms_ += ms;
+  }
+
+  /// Attaches the chaos adversary consulted on every send (nullptr: none).
+  void set_chaos(ChaosInjector* chaos) { chaos_ = chaos; }
 
   /// Deterministic fingerprint of the delivery history: sequence numbers in
   /// the order frames were handed to the sink. Two runs with the same seed
@@ -122,8 +153,10 @@ class EventQueueTransport : public Transport {
   double clock_ms_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t rejected_ = 0;
   std::priority_queue<PendingFrame> queue_;
   std::vector<std::uint64_t> trace_;
+  ChaosInjector* chaos_ = nullptr;
 };
 
 }  // namespace dhtidx::net

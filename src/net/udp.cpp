@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 
@@ -20,7 +21,7 @@ namespace {
   // strerror's static buffer is fine here: this throws on the single thread
   // that owns the socket, and the message is copied into the string at once.
   // NOLINTNEXTLINE(concurrency-mt-unsafe)
-  throw Error{what + ": " + std::strerror(errno)};
+  throw TransportError{what + ": " + std::strerror(errno)};
 }
 
 sockaddr_in loopback_address(std::uint16_t port) {
@@ -90,8 +91,18 @@ void UdpTransport::pump() {
       }
       throw_errno("udp recv");
     }
-    const Message message =
-        codec::decode(std::string_view{buffer, static_cast<std::size_t>(received)});
+    Message message;
+    try {
+      message = codec::decode(
+          std::string_view{buffer, static_cast<std::size_t>(received)});
+    } catch (const codec::CodecError&) {
+      // A malformed datagram (foreign sender, corruption) must not kill the
+      // pump loop; report it and keep draining.
+      if (sink_ != nullptr) {
+        sink_->on_rejected(static_cast<std::uint64_t>(received));
+      }
+      continue;
+    }
     if (sink_ != nullptr) {
       sink_->on_message(message, static_cast<std::uint64_t>(received));
     }
@@ -99,18 +110,36 @@ void UdpTransport::pump() {
 }
 
 bool UdpTransport::poll_and_pump(int timeout_ms) {
-  pollfd pfd{};
-  pfd.fd = fd_;
-  pfd.events = POLLIN;
-  const int ready = ::poll(&pfd, 1, timeout_ms);
-  if (ready < 0) {
-    throw_errno("udp poll");
+  // A signal interrupting poll() is not a timeout: retry with whatever part
+  // of the budget is left (or forever for a negative/infinite timeout). Real
+  // poll() failures surface as a typed TransportError, never as `false`.
+  for (;;) {
+    const auto started = std::chrono::steady_clock::now();
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        if (timeout_ms > 0) {
+          const auto elapsed_ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - started)
+                  .count();
+          timeout_ms = elapsed_ms >= timeout_ms
+                           ? 0
+                           : timeout_ms - static_cast<int>(elapsed_ms);
+        }
+        continue;
+      }
+      throw_errno("udp poll");
+    }
+    if (ready == 0) {
+      return false;
+    }
+    pump();
+    return true;
   }
-  if (ready == 0) {
-    return false;
-  }
-  pump();
-  return true;
 }
 
 }  // namespace dhtidx::net

@@ -91,6 +91,21 @@ struct SimulationResults {
   std::size_t repair_moves = 0;         ///< entries/records repaired at end
   std::size_t republish_rounds = 0;
 
+  // Chaos layer (all zero when ChaosConfig is disabled). Frame counts come
+  // from the ChaosInjector's fault counters; bus_* mirror the MessageBus's
+  // defensive reactions (retransmissions under the timeout budget, duplicate
+  // deliveries suppressed by request-id dedup, codec-rejected frames).
+  std::size_t partitioned_nodes = 0;          ///< nodes cut off mid-feed
+  std::uint64_t chaos_frames_dropped = 0;
+  std::uint64_t chaos_frames_duplicated = 0;
+  std::uint64_t chaos_frames_reordered = 0;
+  std::uint64_t chaos_frames_delayed = 0;
+  std::uint64_t chaos_frames_corrupted = 0;
+  std::uint64_t bus_timeouts = 0;             ///< retransmissions after a timeout
+  std::uint64_t bus_duplicates = 0;           ///< duplicate deliveries suppressed
+  std::uint64_t bus_rejected = 0;             ///< frames rejected by the codec
+  double convergence_ms = 0.0;  ///< virtual heal-to-repaired time
+
   // Raw traffic ledger for the query phase (analytic per-message estimates,
   // the paper's accounting).
   net::TrafficLedger ledger;

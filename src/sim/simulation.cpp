@@ -13,6 +13,7 @@
 #include "dht/can.hpp"
 #include "dht/chord.hpp"
 #include "net/bus.hpp"
+#include "net/chaos.hpp"
 #include "net/transport.hpp"
 #include "dht/pastry.hpp"
 #include "dht/ring.hpp"
@@ -33,6 +34,18 @@ double wall_seconds_since(std::chrono::steady_clock::time_point start) {
 
 SimulationResults run_simulation(const SimulationConfig& config,
                                  const biblio::Corpus* shared_corpus) {
+  if (config.chaos.enabled()) {
+    if (config.transport != TransportKind::kEventQueue) {
+      throw InvariantError(
+          "chaos simulation requires the event-queue transport (frame faults "
+          "act on queued frames)");
+    }
+    if (config.substrate != Substrate::kRing) {
+      throw InvariantError(
+          "chaos simulation requires the ring substrate (like churn, the "
+          "protocol substrates have failure handling of their own)");
+    }
+  }
   if (config.streaming || config.shards > 1) {
     // Streaming (and therefore sharded) worlds take the counter-addressable
     // path; the materialized path below stays byte-for-byte untouched so the
@@ -121,13 +134,22 @@ SimulationResults run_simulation(const SimulationConfig& config,
   service.set_bus(&bus);
   store.set_bus(&bus);
 
-  std::optional<net::FailureInjector> injector;
-  if (config.churn.enabled()) {
+  // One ChaosInjector serves both fault planes: churn uses the inherited
+  // crash/drop delivery plane (its coin stream is seeded exactly like the old
+  // FailureInjector, so churn-only goldens replay unchanged), chaos adds the
+  // frame plane on the event-queue transport.
+  const bool chaos_enabled = config.chaos.enabled();
+  std::optional<net::ChaosInjector> injector;
+  if (config.churn.enabled() || chaos_enabled) {
     injector.emplace(config.seed ^ 0xFA11C0DEull);
     service.set_failures(&*injector);
     store.set_failures(&*injector);
     service.set_retry_policy(config.retry);
     store.set_retry_policy(config.retry);
+  }
+  if (chaos_enabled) {
+    bus.set_retry_policy(config.retry);
+    event_queue->set_chaos(&*injector);
   }
   index::IndexBuilder builder{service, store, index::IndexingScheme::make(config.scheme)};
 
@@ -185,6 +207,21 @@ SimulationResults run_simulation(const SimulationConfig& config,
   bool churned = false;
   std::vector<Id> crashed_ids;
   std::uint64_t post_churn_interactions = 0;
+
+  // --- chaos schedule --------------------------------------------------------
+  const std::size_t chaos_start_at =
+      chaos_enabled ? static_cast<std::size_t>(static_cast<double>(config.queries) *
+                                               config.chaos.start_point)
+                    : config.queries;
+  const std::size_t chaos_heal_at =
+      chaos_enabled
+          ? std::max(chaos_start_at + 1,
+                     static_cast<std::size_t>(static_cast<double>(config.queries) *
+                                              config.chaos.heal_point))
+          : config.queries;
+  bool chaos_started = false;
+  bool chaos_healed = false;
+  double heal_clock_ms = 0.0;
   const auto feed_start = std::chrono::steady_clock::now();
   const auto republish_all = [&](std::uint64_t now) {
     for (const biblio::Article& article : corpus.articles()) {
@@ -228,6 +265,44 @@ SimulationResults run_simulation(const SimulationConfig& config,
       republish_all(i);
       ++r.republish_rounds;
     }
+    if (chaos_enabled && !chaos_started && i >= chaos_start_at) {
+      // The adversary wakes up: frames start suffering seeded faults and a
+      // deterministic node sample is cut off behind an asymmetric partition.
+      // Unlike a crash, partitioned nodes keep their disks — the interesting
+      // failure mode is the stale state they host until the heal.
+      net::ChaosProfile profile;
+      profile.drop_probability = config.chaos.drop_probability;
+      profile.corrupt_probability = config.chaos.corrupt_probability;
+      profile.duplicate_probability = config.chaos.duplicate_probability;
+      profile.delay_probability = config.chaos.delay_probability;
+      profile.delay_ms = config.chaos.delay_ms;
+      profile.reorder_probability = config.chaos.reorder_probability;
+      profile.reorder_window_ms = config.chaos.reorder_window_ms;
+      injector->set_profile(profile);
+      if (config.chaos.partition_fraction > 0.0) {
+        Rng partition_rng{config.seed ^ 0x9a2717ull};
+        std::vector<Id> members = ring.node_ids();
+        std::sort(members.begin(), members.end());
+        const std::size_t to_isolate = static_cast<std::size_t>(
+            config.chaos.partition_fraction * static_cast<double>(members.size()));
+        std::vector<Id> victims;
+        victims.reserve(to_isolate);
+        for (std::size_t k = 0; k < to_isolate && !members.empty(); ++k) {
+          const std::size_t pick = partition_rng.next_index(members.size());
+          victims.push_back(members[pick]);
+          members.erase(members.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+        injector->install_partition(victims);
+        r.partitioned_nodes = victims.size();
+      }
+      chaos_started = true;
+    }
+    if (chaos_started && !chaos_healed && i >= chaos_heal_at) {
+      injector->clear_profile();
+      injector->heal();
+      chaos_healed = true;
+      heal_clock_ms = event_queue->clock_ms();
+    }
 
     const workload::Request request = generator.next();
     const query::Query target = corpus.article(request.article_index).msd();
@@ -257,6 +332,15 @@ SimulationResults run_simulation(const SimulationConfig& config,
     }
     std::set<Id> unique_nodes(outcome.visited_nodes.begin(), outcome.visited_nodes.end());
     for (const Id& node : unique_nodes) ++node_touches[node];
+  }
+
+  // Short feeds (or heal_point >= 1.0) can end before the scheduled heal;
+  // force it so metrics and the post-run audit always see a healed network.
+  if (chaos_started && !chaos_healed) {
+    injector->clear_profile();
+    injector->heal();
+    chaos_healed = true;
+    heal_clock_ms = event_queue->clock_ms();
   }
 
   // --- collect metrics -------------------------------------------------------
@@ -362,7 +446,7 @@ SimulationResults run_simulation(const SimulationConfig& config,
   // membership is cleaned up, placement is rebalanced and publishers
   // re-announce, so the post-run audit checks a repaired, replica-consistent
   // world. (All maintenance traffic, not part of the measurements above.)
-  if (churned && config.churn.repair_at_end) {
+  if ((churned || chaos_started) && config.churn.repair_at_end) {
     injector->set_drop_probability(0.0);
     for (const Id& dead : crashed_ids) {
       ring_substrate->remove(dead);
@@ -375,10 +459,29 @@ SimulationResults run_simulation(const SimulationConfig& config,
     bus.sync();  // flush republish frames before the world is torn down
   }
 
+  if (chaos_started) {
+    r.chaos_frames_dropped = injector->dropped_frames();
+    r.chaos_frames_duplicated = injector->duplicated_frames();
+    r.chaos_frames_reordered = injector->reordered_frames();
+    r.chaos_frames_delayed = injector->delayed_frames();
+    r.chaos_frames_corrupted = injector->corrupted_frames();
+    r.bus_timeouts = bus.timeouts();
+    r.bus_duplicates = bus.duplicates_detected();
+    r.bus_rejected = bus.rejected_frames();
+    // Virtual time from the heal to the end of repair: how long the network
+    // took to re-converge once the adversary stopped.
+    r.convergence_ms = event_queue->clock_ms() - heal_clock_ms;
+  }
+
 #ifdef DHTIDX_AUDIT
   // Phase boundary: the query feed is done and every metric collected. For a
   // SweepRunner sweep this is the end-of-cell audit -- the whole world is
-  // cell-local and about to be destroyed.
+  // cell-local and about to be destroyed. After a repaired outage the world
+  // must actually be quiescent, so invariant 9 is enforced rather than
+  // skipped.
+  audit_options.chaos = injector ? &*injector : nullptr;
+  audit_options.require_quiescent =
+      (churned || chaos_started) && config.churn.repair_at_end;
   audit::audit_or_throw("post-run", ring, service, store, audit_options);
 #endif
 
@@ -395,6 +498,9 @@ std::string config_label(const SimulationConfig& config) {
   }
   if (config.churn.enabled()) {
     label += " churn";
+  }
+  if (config.chaos.enabled()) {
+    label += " chaos";
   }
   if (config.transport != TransportKind::kInProcess) {
     label += " ";

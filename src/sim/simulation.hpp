@@ -48,6 +48,33 @@ struct ChurnConfig {
   }
 };
 
+/// Mid-run adversarial network schedule (all off by default). Between the
+/// start and heal points, frames on the event-queue transport suffer seeded
+/// drop/duplicate/reorder/delay/corrupt faults and an optional asymmetric
+/// partition isolates a node sample. At the heal point every fault clears and
+/// the partition heals; the end-of-feed repair pass (ChurnConfig::
+/// repair_at_end) then re-converges the index, and convergence_ms measures
+/// how much virtual time that took. Chaos runs require the Ring substrate and
+/// the event-queue transport (frame faults act on queued frames).
+struct ChaosConfig {
+  double drop_probability = 0.0;       ///< per-frame loss
+  double duplicate_probability = 0.0;  ///< per-frame duplication
+  double reorder_probability = 0.0;    ///< per-frame jitter within the window
+  double reorder_window_ms = 8.0;
+  double corrupt_probability = 0.0;    ///< per-frame bit corruption
+  double delay_probability = 0.0;      ///< per-frame slow-link episode
+  double delay_ms = 25.0;
+  double partition_fraction = 0.0;     ///< fraction of nodes isolated
+  double start_point = 0.25;           ///< position in the feed (fraction)
+  double heal_point = 0.75;            ///< must be > start_point
+
+  bool enabled() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           reorder_probability > 0.0 || corrupt_probability > 0.0 ||
+           delay_probability > 0.0 || partition_fraction > 0.0;
+  }
+};
+
 /// Parameters of one run. Defaults are the paper's setup.
 struct SimulationConfig {
   std::size_t nodes = 500;
@@ -76,6 +103,9 @@ struct SimulationConfig {
 
   /// Mid-run failure schedule; disabled by default.
   ChurnConfig churn;
+
+  /// Mid-run adversarial network schedule; disabled by default.
+  ChaosConfig chaos;
 
   /// Message transport carrying the run's RPCs. The default in-process
   /// transport is the zero-copy fast path and keeps sweep output

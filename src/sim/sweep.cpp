@@ -244,6 +244,25 @@ std::string json_summary(std::string_view bench_name, const SweepSummary& sweep)
       append_field(out, "republish_rounds", std::to_string(r.republish_rounds), false);
       append_field(out, "repair_moves", std::to_string(r.repair_moves), false);
     }
+    if (cell.config.chaos.enabled()) {
+      // Chaos fields only appear for chaos cells, so the JSON of every
+      // pre-existing cell stays byte-for-byte unchanged.
+      append_field(out, "partitioned_nodes", std::to_string(r.partitioned_nodes), false);
+      append_field(out, "chaos_frames_dropped",
+                   std::to_string(r.chaos_frames_dropped), false);
+      append_field(out, "chaos_frames_duplicated",
+                   std::to_string(r.chaos_frames_duplicated), false);
+      append_field(out, "chaos_frames_reordered",
+                   std::to_string(r.chaos_frames_reordered), false);
+      append_field(out, "chaos_frames_delayed",
+                   std::to_string(r.chaos_frames_delayed), false);
+      append_field(out, "chaos_frames_corrupted",
+                   std::to_string(r.chaos_frames_corrupted), false);
+      append_field(out, "bus_timeouts", std::to_string(r.bus_timeouts), false);
+      append_field(out, "bus_duplicates", std::to_string(r.bus_duplicates), false);
+      append_field(out, "bus_rejected", std::to_string(r.bus_rejected), false);
+      append_field(out, "convergence_ms", num(r.convergence_ms), false);
+    }
     out.push_back('}');
   }
   out += "]}";

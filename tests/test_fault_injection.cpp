@@ -8,6 +8,7 @@
 #include "dht/ring.hpp"
 #include "index/builder.hpp"
 #include "index/lookup.hpp"
+#include "net/failure.hpp"
 
 namespace dhtidx {
 namespace {
@@ -112,6 +113,23 @@ TEST(FaultInjection, ChurnDuringQueryFeed) {
   for (const auto& a : corpus.articles()) {
     EXPECT_TRUE(engine2.resolve(a.author_query(), a.msd()).found) << a.title;
   }
+}
+
+TEST(FaultInjection, RecoverClearsScriptedFailures) {
+  // Regression: recover(node) used to erase the node from the crash set but
+  // leave its scripted fail_next() budget armed, so a "recovered" node kept
+  // eating the next N deliveries.
+  net::FailureInjector injector{42};
+  const Id node = Id::hash("flaky");
+  injector.fail_next(node, 3);
+  injector.crash(node);
+  ASSERT_EQ(injector.scripted_count(), 1u);
+
+  injector.recover(node);
+  EXPECT_EQ(injector.crashed_count(), 0u);
+  EXPECT_EQ(injector.scripted_count(), 0u);
+  // A recovered node answers again immediately: no leftover scripted drop.
+  EXPECT_NO_THROW(injector.check_delivery(node));
 }
 
 TEST(FaultInjection, ReplicatedFilesSurviveStorageLossTransparently) {

@@ -209,8 +209,11 @@ TEST(TrafficLedger, TotalsEqualTheSumOverCategories) {
   ledger.routing.record(5);
   ledger.retries.record(25);
   ledger.maintenance.record(60);
+  ledger.timeouts.record(15);
+  ledger.duplicates.record(3);
+  ledger.rejected.record(2);
 
-  EXPECT_EQ(ledger.categories().size(), 6u);
+  EXPECT_EQ(ledger.categories().size(), 9u);
   std::uint64_t bytes = 0;
   std::uint64_t messages = 0;
   for (const TrafficLedger::NamedCategory& category : ledger.categories()) {
@@ -218,9 +221,9 @@ TEST(TrafficLedger, TotalsEqualTheSumOverCategories) {
     messages += category.stats->messages();
   }
   EXPECT_EQ(ledger.total_bytes(), bytes);
-  EXPECT_EQ(ledger.total_bytes(), 240u);
+  EXPECT_EQ(ledger.total_bytes(), 260u);
   EXPECT_EQ(ledger.total_messages(), messages);
-  EXPECT_EQ(ledger.total_messages(), 6u);
+  EXPECT_EQ(ledger.total_messages(), 9u);
   EXPECT_EQ(ledger.normal_bytes(), ledger.queries.bytes() + ledger.responses.bytes());
 
   ledger.reset();  // reset() must clear every category, maintenance included

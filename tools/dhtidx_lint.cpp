@@ -326,7 +326,7 @@ void check_ledger_discipline(const std::string& rel,
     blessed.insert((*it)[1].str());
   }
   static const std::regex kWrite(
-      R"(\b(\w+)\.(queries|responses|cache|routing|retries|maintenance)\.record\s*\()");
+      R"(\b(\w+)\.(queries|responses|cache|routing|retries|maintenance|timeouts|duplicates|rejected)\.record\s*\()");
   for (std::size_t i = 0; i < code.size(); ++i) {
     auto begin = std::sregex_iterator(code[i].begin(), code[i].end(), kWrite);
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
