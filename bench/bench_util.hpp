@@ -18,21 +18,27 @@ namespace dhtidx::bench {
 
 /// Command-line options shared by every bench binary.
 struct BenchOptions {
-  std::size_t jobs = 0;  ///< worker threads for sweeps; 0 = hardware concurrency
+  std::size_t jobs = 0;    ///< worker threads for sweeps; 0 = hardware concurrency
+  std::size_t shards = 0;  ///< >0: run cells as streaming worlds with N shards
 };
 
-/// Parses `--jobs N` / `--jobs=N` / `-j N` (and `--help`). Every bench
-/// accepts the flag; binaries without independent simulation cells simply
-/// ignore it. Exits on unknown arguments.
+/// Parses `--jobs N` / `--jobs=N` / `-j N`, `--shards N` / `--shards=N` (and
+/// `--help`). Every bench accepts the flags; binaries without independent
+/// simulation cells simply ignore them. Exits on unknown arguments.
 inline BenchOptions parse_options(int argc, char** argv) {
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--jobs N]\n"
+          "usage: %s [--jobs N] [--shards N]\n"
           "  --jobs N, -j N   worker threads for the experiment sweep\n"
-          "                   (default: hardware concurrency)\n",
+          "                   (default: hardware concurrency)\n"
+          "  --shards N       run every cell as a streaming world with N\n"
+          "                   shard workers (default: the materialized\n"
+          "                   single-threaded world; the streamed corpus is a\n"
+          "                   separate golden universe, results are\n"
+          "                   bit-identical across N)\n",
           argv[0]);
       std::exit(0);
     }
@@ -40,27 +46,53 @@ inline BenchOptions parse_options(int argc, char** argv) {
       char* end = nullptr;
       const unsigned long value = std::strtoul(text, &end, 10);
       if (end == text || *end != '\0') {
-        std::fprintf(stderr, "%s: '%s' is not a job count\n", argv[0], text);
+        std::fprintf(stderr, "%s: '%s' is not a count\n", argv[0], text);
         std::exit(2);
       }
       return static_cast<std::size_t>(value);
     };
-    if (arg == "--jobs" || arg == "-j") {
+    if (arg == "--jobs" || arg == "-j" || arg == "--shards") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: %s expects a count\n", argv[0], arg.c_str());
         std::exit(2);
       }
-      options.jobs = parse_count(argv[++i]);
+      const std::size_t value = parse_count(argv[++i]);
+      if (arg == "--shards") {
+        options.shards = value;
+      } else {
+        options.jobs = value;
+      }
       continue;
     }
     if (arg.rfind("--jobs=", 0) == 0) {
       options.jobs = parse_count(arg.c_str() + 7);
       continue;
     }
+    if (arg.rfind("--shards=", 0) == 0) {
+      options.shards = parse_count(arg.c_str() + 9);
+      continue;
+    }
     std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0], arg.c_str());
     std::exit(2);
   }
   return options;
+}
+
+/// Applies `--shards N`: switches every cell to the streaming world with N
+/// shard workers (shards == 0 leaves the cells untouched). Returns the
+/// corpus pointer to hand to run_cells — nullptr for streaming runs, which
+/// synthesize their own corpus from the cell's corpus parameters; the
+/// streamed universe is golden-separate from the materialized one, but
+/// bit-identical across every N (and every --jobs).
+inline const biblio::Corpus* apply_shards(std::vector<sim::SimulationConfig>& cells,
+                                          const biblio::Corpus* corpus,
+                                          const BenchOptions& options) {
+  if (options.shards == 0) return corpus;
+  for (sim::SimulationConfig& cell : cells) {
+    cell.streaming = true;
+    cell.shards = options.shards;
+  }
+  return nullptr;
 }
 
 /// Submits the cells to the parallel sweep runner, prints the sweep timing

@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
       cells.push_back(config);
     }
   }
-  const auto results = run_cells("fig13_hit_ratio", cells, &corpus, options);
+  const biblio::Corpus* run_corpus = apply_shards(cells, &corpus, options);
+  const auto results = run_cells("fig13_hit_ratio", cells, run_corpus, options);
 
   std::printf("%-14s %-9s %12s %18s\n", "policy", "scheme", "hit ratio",
               "hits @ first node");

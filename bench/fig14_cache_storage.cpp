@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
       cells.push_back(config);
     }
   }
-  const auto results = run_cells("fig14_cache_storage", cells, &corpus, options);
+  const biblio::Corpus* run_corpus = apply_shards(cells, &corpus, options);
+  const auto results = run_cells("fig14_cache_storage", cells, run_corpus, options);
 
   std::printf("%-14s %-9s %10s %8s %8s %8s %12s\n", "policy", "scheme", "avg/node",
               "max", "full", "empty", "regular/node");

@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
     config.cache_capacity = p.capacity;
     cells.push_back(config);
   }
-  const auto results = run_cells("fig15_hotspots", cells, &corpus, options);
+  const biblio::Corpus* run_corpus = apply_shards(cells, &corpus, options);
+  const auto results = run_cells("fig15_hotspots", cells, run_corpus, options);
 
   std::vector<std::vector<double>> loads;
   for (const sim::CellResult& cell : results) {

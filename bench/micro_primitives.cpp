@@ -18,6 +18,7 @@
 #include "dht/ring.hpp"
 #include "index/builder.hpp"
 #include "index/lookup.hpp"
+#include "net/codec.hpp"
 #include "query/query.hpp"
 #include "workload/streaming.hpp"
 
@@ -202,6 +203,70 @@ void BM_ShortcutCacheMiss(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShortcutCacheMiss);
+
+// An epoch's worth of cache deltas replayed through the interned apply API
+// (PR 10): the per-delta cost of the sharded feed's apply sub-phase, with the
+// intern probe already paid during the serial intern step. Pointer-identity
+// touch/insert against a live LRU list, no hashing of query text.
+void BM_CacheApplyEpoch(benchmark::State& state) {
+  query::QueryInterner interner;
+  index::ShortcutCache cache{static_cast<std::size_t>(state.range(0)), &interner};
+  const query::Query* target =
+      interner.intern(query::Query::parse("/article[title=T][year=2000]"));
+  std::vector<const query::Query*> sources;
+  for (int i = 0; i < 1024; ++i) {
+    sources.push_back(
+        interner.intern(query::Query::parse("/article/title/T" + std::to_string(i))));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const query::Query* source = sources[i++ % sources.size()];
+    if (!cache.insert_interned(source, target)) {
+      cache.touch_interned(source, target);
+    }
+  }
+}
+BENCHMARK(BM_CacheApplyEpoch)->Arg(0)->Arg(30);
+
+/// Representative wire frame for the codec benchmarks: a lookup response
+/// carrying a handful of payload items, the common shape on the feed path.
+net::Message bench_message() {
+  net::Message m = net::Message::request(net::Action::kLookup, Id::hash("from"),
+                                         Id::hash("to"));
+  m.request_id = 0x1234567890ABCDEFull;
+  for (int i = 0; i < 4; ++i) {
+    m.payload.push_back("payload-item-" + std::to_string(i) +
+                        std::string(48, 'x'));
+  }
+  return m;
+}
+
+// Encode into a fresh string every frame: one allocation per call, the
+// pre-PR 10 send path.
+void BM_EncodeFresh(benchmark::State& state) {
+  const net::Message m = bench_message();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::codec::encode(m));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(net::codec::encoded_size(m)));
+}
+BENCHMARK(BM_EncodeFresh);
+
+// Encode into a reused scratch buffer (codec::encode_into): after warm-up the
+// capacity is retained, so the steady state is allocation-free. This is the
+// transport/bus hot path since PR 10.
+void BM_EncodeReuse(benchmark::State& state) {
+  const net::Message m = bench_message();
+  std::string scratch;
+  for (auto _ : state) {
+    net::codec::encode_into(m, scratch);
+    benchmark::DoNotOptimize(scratch);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(net::codec::encoded_size(m)));
+}
+BENCHMARK(BM_EncodeReuse);
 
 /// Shared world for the composite hot-path benchmarks: a mid-size corpus
 /// fully indexed over a 100-node ring. Built once per process.

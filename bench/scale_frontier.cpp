@@ -6,18 +6,27 @@
 // from above; the largest cell's reading is effectively its own):
 //
 //   frontier  world-size ladder 500/10k/50k -> 5k/100k/500k -> 50k/1M/5M
-//             (nodes/articles/queries), Simple scheme, cacheless.
+//             (nodes/articles/queries), Simple scheme, cacheless plus a
+//             caching (single-cache) twin at the 10x and 100x rungs.
 //   fig11     the Figure 11 scheme comparison (Simple/Flat/Complex) replayed
 //             at 50k nodes / 100k articles / 500k queries.
 //   fig13     the Figure 13 cache-policy ladder (Multi, Single, LRU 10/20/30)
-//             at the same 50k-node world; caching mutates shared shortcut
-//             state, so these cells run single-shard (still streaming).
+//             at the same 50k-node world. Since PR 10 caching feeds run
+//             shard-concurrent (bulk-synchronous query epochs, DESIGN.md
+//             section 15), so these cells honour --shards like every other
+//             group.
+//
+// Every cell's JSON reports both requested_shards (the command line) and
+// shards (what the cell actually ran with) so a silent downgrade can never
+// masquerade as a sharded measurement.
 //
 // Output: progress tables on stdout, then one JSON line (the last line of
 // output) with every cell's metrics -- capture it with `tail -n 1` into
-// BENCH_scale_frontier.json. `--smoke` swaps in a tiny world, runs it at one
-// shard and at --shards, and exits non-zero unless the results are
-// bit-identical: that is the CI (TSan) guard for the sharding contract.
+// BENCH_scale_frontier.json. `--smoke` swaps in a tiny world and runs it at
+// one shard and at --shards twice over -- once cacheless, once with a
+// caching policy (lru-multi, the policy exercising installs, touches and
+// evictions) -- and exits non-zero unless both pairs are bit-identical: that
+// is the CI (TSan) guard for the sharding contract.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -49,7 +58,8 @@ Options parse(int argc, char** argv) {
       std::printf(
           "usage: %s [--smoke] [--shards N]\n"
           "  --smoke      tiny world; verify bit-identity between 1 and N shards\n"
-          "  --shards N   shard count for cacheless cells (default 2)\n",
+          "               (cacheless and caching legs)\n"
+          "  --shards N   shard count for every cell (default 2)\n",
           argv[0]);
       std::exit(0);
     }
@@ -140,7 +150,10 @@ std::string cell_json(const CellReport& cell) {
   field("scheme", index::to_string(r.scheme), true);
   field("policy", index::to_string(r.policy), true);
   field("cache_capacity", std::to_string(r.cache_capacity));
-  field("shards", std::to_string(cell.config.shards));
+  // Requested on the command line vs what the cell actually ran with (the
+  // engine clamps 0 to 1; nothing else may silently downgrade).
+  field("requested_shards", std::to_string(cell.config.shards));
+  field("shards", std::to_string(std::max<std::size_t>(cell.config.shards, 1)));
   field("nodes", std::to_string(r.nodes));
   field("articles", std::to_string(r.articles));
   field("queries", std::to_string(r.queries));
@@ -238,24 +251,40 @@ int run_smoke(const Options& options) {
   base.corpus.authors = 150;
   base.corpus.conferences = 12;
 
-  const CellReport one = run_cell("smoke", "1 shard", base);
-  sim::SimulationConfig sharded = base;
-  sharded.shards = shards;
-  const CellReport many =
-      run_cell("smoke", std::to_string(shards) + " shards", sharded);
+  // Two legs: cacheless (the embarrassingly parallel feed) and a caching
+  // policy (the bulk-synchronous query epochs). lru-multi exercises the full
+  // delta taxonomy -- multi-placement installs, hit touches, LRU evictions.
+  sim::SimulationConfig cached = base;
+  cached.policy = index::CachePolicy::kLruMulti;
+  cached.cache_capacity = 10;
 
-  const std::vector<std::string> bad = diff_results(one.results, many.results);
-  for (const std::string& name : bad) {
-    std::fprintf(stderr, "MISMATCH across shard counts: %s\n", name.c_str());
+  bool identical = true;
+  std::string cells_json;
+  for (const auto& [leg, leg_base] :
+       {std::pair<const char*, const sim::SimulationConfig*>{"cacheless", &base},
+        {"lru-multi", &cached}}) {
+    const CellReport one = run_cell("smoke", std::string(leg) + " 1 shard", *leg_base);
+    sim::SimulationConfig sharded = *leg_base;
+    sharded.shards = shards;
+    const CellReport many = run_cell(
+        "smoke", std::string(leg) + " " + std::to_string(shards) + " shards", sharded);
+
+    const std::vector<std::string> bad = diff_results(one.results, many.results);
+    for (const std::string& name : bad) {
+      std::fprintf(stderr, "MISMATCH (%s) across shard counts: %s\n", leg,
+                   name.c_str());
+    }
+    std::printf("smoke %s: shards=1 vs shards=%zu -> %s\n", leg, shards,
+                bad.empty() ? "bit-identical" : "MISMATCH");
+    identical = identical && bad.empty();
+    if (!cells_json.empty()) cells_json += ",";
+    cells_json += cell_json(one) + "," + cell_json(many);
   }
-  std::printf("smoke: shards=1 vs shards=%zu -> %s\n", shards,
-              bad.empty() ? "bit-identical" : "MISMATCH");
   std::printf(
       "{\"bench\":\"scale_frontier\",\"smoke\":true,\"shards\":%zu,"
-      "\"identical\":%s,\"cells\":[%s,%s]}\n",
-      shards, bad.empty() ? "true" : "false", cell_json(one).c_str(),
-      cell_json(many).c_str());
-  return bad.empty() ? 0 : 1;
+      "\"identical\":%s,\"cells\":[%s]}\n",
+      shards, identical ? "true" : "false", cells_json.c_str());
+  return identical ? 0 : 1;
 }
 
 }  // namespace
@@ -265,15 +294,21 @@ int main(int argc, char** argv) {
   if (options.smoke) return run_smoke(options);
 
   banner("Scale frontier: the paper's world at 100x on one machine");
-  std::printf("shard count for cacheless cells: %zu\n\n", options.shards);
+  std::printf("shard count: %zu\n\n", options.shards);
   std::vector<CellReport> cells;
 
   // World-size ladder, paper scale -> 100x articles/queries. Smallest first:
-  // the RSS watermark of each cell then upper-bounds that cell alone.
+  // the RSS watermark of each cell then upper-bounds that cell alone. The
+  // caching twins measure the epoch-based shard-parallel feed at scale.
   cells.push_back(run_cell("frontier", "paper (500/10k/50k)",
                            streaming_cell(500, 10000, 50000, options.shards)));
   cells.push_back(run_cell("frontier", "10x (5k/100k/500k)",
                            streaming_cell(5000, 100000, 500000, options.shards)));
+  {
+    sim::SimulationConfig config = streaming_cell(5000, 100000, 500000, options.shards);
+    config.policy = index::CachePolicy::kSingle;
+    cells.push_back(run_cell("frontier", "10x single cache", config));
+  }
 
   // Figure 11 scheme comparison at 50k nodes.
   for (const index::SchemeKind scheme :
@@ -286,8 +321,9 @@ int main(int argc, char** argv) {
         run_cell("fig11", index::to_string(scheme) + " @50k nodes", config));
   }
 
-  // Figure 13 cache-policy ladder at 50k nodes. Caching feeds mutate shared
-  // shortcut state, so these run single-shard (see sim/sharded.hpp).
+  // Figure 13 cache-policy ladder at 50k nodes. Caching feeds run as
+  // bulk-synchronous query epochs since PR 10, so these cells shard like
+  // every other group (see sim/sharded.hpp).
   struct Policy {
     std::string label;
     index::CachePolicy policy;
@@ -301,13 +337,22 @@ int main(int argc, char** argv) {
       {"lru 30", index::CachePolicy::kLru, 30},
   };
   for (const Policy& p : policies) {
-    sim::SimulationConfig config = streaming_cell(50000, 100000, 500000, 1);
+    sim::SimulationConfig config =
+        streaming_cell(50000, 100000, 500000, options.shards);
     config.policy = p.policy;
     config.cache_capacity = p.capacity;
     cells.push_back(run_cell("fig13", p.label + " @50k nodes", config));
   }
 
-  // The 100x frontier cell, last so its watermark is its own.
+  // The 100x frontier cells, last so their watermark is their own (the
+  // caching twin first: its extra state is dwarfed by the cacheless cell's
+  // transient peak).
+  {
+    sim::SimulationConfig config =
+        streaming_cell(50000, 1000000, 5000000, options.shards);
+    config.policy = index::CachePolicy::kSingle;
+    cells.push_back(run_cell("frontier", "100x single cache", config));
+  }
   cells.push_back(run_cell("frontier", "100x (50k/1M/5M)",
                            streaming_cell(50000, 1000000, 5000000, options.shards)));
 

@@ -23,6 +23,7 @@ std::string to_string(CachePolicy policy) {
 }
 
 std::vector<const query::Query*> ShortcutCache::find(const query::Query& source) const {
+  phase_.assert_shared();
   std::vector<const query::Query*> out;
   // Probe-only: a miss must not grow the interner, so resolve through
   // find_existing (a query the interner has never seen cannot be cached).
@@ -37,6 +38,7 @@ std::vector<const query::Query*> ShortcutCache::find(const query::Query& source)
 
 std::vector<std::pair<const query::Query*, const query::Query*>> ShortcutCache::entries()
     const {
+  phase_.assert_shared();
   std::vector<std::pair<const query::Query*, const query::Query*>> out;
   out.reserve(lru_.size());
   for (const Entry& entry : lru_) out.emplace_back(entry.source, entry.target);
@@ -44,6 +46,7 @@ std::vector<std::pair<const query::Query*, const query::Query*>> ShortcutCache::
 }
 
 bool ShortcutCache::contains(const query::Query& source, const query::Query& target) const {
+  phase_.assert_shared();
   const query::Query* s = interner_->find_existing(source);
   if (s == nullptr) return false;
   const query::Query* t = interner_->find_existing(target);
@@ -54,20 +57,26 @@ bool ShortcutCache::contains(const query::Query& source, const query::Query& tar
 bool ShortcutCache::insert(const query::Query& source, const query::Query& target) {
   const query::Query* s = interner_->intern(source);
   const query::Query* t = interner_->intern(target);
-  const auto it = by_key_.find({s, t});
+  return insert_interned(s, t);
+}
+
+bool ShortcutCache::insert_interned(const query::Query* source,
+                                    const query::Query* target) {
+  phase_.assert_exclusive();
+  const auto it = by_key_.find({source, target});
   if (it != by_key_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    promote_in_bucket(s, it->second);
+    promote_in_bucket(source, it->second);
     return false;
   }
   if (capacity_ != 0) {
     while (lru_.size() >= capacity_) evict_lru();
   }
-  lru_.push_front(Entry{s, t});
-  by_key_.emplace(std::make_pair(s, t), lru_.begin());
-  auto& bucket = by_source_[s];
+  lru_.push_front(Entry{source, target});
+  by_key_.emplace(std::make_pair(source, target), lru_.begin());
+  auto& bucket = by_source_[source];
   bucket.insert(bucket.begin(), lru_.begin());
-  bytes_ += s->byte_size() + t->byte_size();
+  bytes_ += source->byte_size() + target->byte_size();
   return true;
 }
 
@@ -76,10 +85,16 @@ void ShortcutCache::touch(const query::Query& source, const query::Query& target
   if (s == nullptr) return;
   const query::Query* t = interner_->find_existing(target);
   if (t == nullptr) return;
-  const auto it = by_key_.find({s, t});
+  touch_interned(s, t);
+}
+
+void ShortcutCache::touch_interned(const query::Query* source,
+                                   const query::Query* target) {
+  phase_.assert_exclusive();
+  const auto it = by_key_.find({source, target});
   if (it == by_key_.end()) return;
   lru_.splice(lru_.begin(), lru_, it->second);
-  promote_in_bucket(s, it->second);
+  promote_in_bucket(source, it->second);
 }
 
 bool ShortcutCache::erase(const query::Query& source, const query::Query& target) {
@@ -87,21 +102,27 @@ bool ShortcutCache::erase(const query::Query& source, const query::Query& target
   if (s == nullptr) return false;
   const query::Query* t = interner_->find_existing(target);
   if (t == nullptr) return false;
-  const auto it = by_key_.find({s, t});
+  return erase_interned(s, t);
+}
+
+bool ShortcutCache::erase_interned(const query::Query* source,
+                                   const query::Query* target) {
+  phase_.assert_exclusive();
+  const auto it = by_key_.find({source, target});
   if (it == by_key_.end()) return false;
   const auto entry_it = it->second;
   bytes_ -= entry_it->source->byte_size() + entry_it->target->byte_size();
   by_key_.erase(it);
-  const auto bucket_it = by_source_.find(s);
+  const auto bucket_it = by_source_.find(source);
   if (bucket_it == by_source_.end()) {
     throw InvariantError("shortcut cache: erasing entry with no source bucket for " +
-                         s->canonical());
+                         source->canonical());
   }
   auto& bucket = bucket_it->second;
   const auto pos = std::find(bucket.begin(), bucket.end(), entry_it);
   if (pos == bucket.end()) {
     throw InvariantError("shortcut cache: erased entry absent from its bucket for " +
-                         s->canonical());
+                         source->canonical());
   }
   bucket.erase(pos);
   if (bucket.empty()) by_source_.erase(bucket_it);

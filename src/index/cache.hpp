@@ -11,7 +11,18 @@
 // through the cache's QueryInterner (normally the one shared with the whole
 // index service), probes resolve the argument to its interned instance first
 // and then work purely on pointer identity -- no canonical-string
-// concatenation or string-keyed hashing on the hot path.
+// concatenation or string-keyed hashing on the hot path. The *_interned
+// variants skip even the probe for callers that already hold pool refs (the
+// sharded feed's apply sub-phase, which replays recorded deltas whose refs
+// were resolved once at record/intern time).
+//
+// Concurrency contract (DESIGN.md sections 13 and 15): `phase_` is the
+// barrier-phase capability over every mutable structure. During the sharded
+// feed's lookup sub-phase the cache is a frozen snapshot -- workers hold the
+// capability shared and may only call the const readers; every mutating entry
+// point asserts exclusivity, which the epoch structure provides either by
+// running serially or by partitioning nodes across appliers (one shard owns
+// each node's cache during the apply sub-phase).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "query/interner.hpp"
 #include "query/query.hpp"
 
@@ -75,16 +87,31 @@ class ShortcutCache {
   /// created (false when it already existed and was only touched).
   bool insert(const query::Query& source, const query::Query& target);
 
+  /// insert() for callers that already hold refs from this cache's interner
+  /// (the sharded feed's apply sub-phase, LookupEngine's shortcut replay):
+  /// skips the intern probe -- the dominant cost of a guaranteed-duplicate
+  /// re-install -- and works purely on pointer identity.
+  bool insert_interned(const query::Query* source, const query::Query* target);
+
   /// Marks the entry as most recently used.
   void touch(const query::Query& source, const query::Query& target);
+
+  /// touch() for interner-owned refs: no probe, pointer identity only.
+  void touch_interned(const query::Query* source, const query::Query* target);
 
   /// Removes the exact (source, target) shortcut if present. Returns true
   /// when an entry was removed. Used to invalidate shortcuts whose target
   /// turned out to be unreachable (stale after a crash or departure).
   bool erase(const query::Query& source, const query::Query& target);
 
+  /// erase() for interner-owned refs: no probe, pointer identity only.
+  bool erase_interned(const query::Query* source, const query::Query* target);
+
   /// Number of entries removed via erase() so far.
-  std::uint64_t invalidations() const { return invalidations_; }
+  std::uint64_t invalidations() const {
+    phase_.assert_shared();
+    return invalidations_;
+  }
 
   /// Every (source, target) shortcut in global recency order, most recently
   /// used first. Exposed for diagnostics and the audit subsystem; the
@@ -92,15 +119,30 @@ class ShortcutCache {
   std::vector<std::pair<const query::Query*, const query::Query*>> entries() const;
 
   /// Number of distinct source buckets currently tracked.
-  std::size_t source_count() const { return by_source_.size(); }
+  std::size_t source_count() const {
+    phase_.assert_shared();
+    return by_source_.size();
+  }
 
-  std::size_t size() const { return lru_.size(); }
+  std::size_t size() const {
+    phase_.assert_shared();
+    return lru_.size();
+  }
   std::size_t capacity() const { return capacity_; }
-  bool full() const { return capacity_ != 0 && lru_.size() >= capacity_; }
-  std::uint64_t byte_size() const { return bytes_; }
+  bool full() const {
+    phase_.assert_shared();
+    return capacity_ != 0 && lru_.size() >= capacity_;
+  }
+  std::uint64_t byte_size() const {
+    phase_.assert_shared();
+    return bytes_;
+  }
 
   /// Number of entries evicted so far.
-  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t evictions() const {
+    phase_.assert_shared();
+    return evictions_;
+  }
 
  private:
   struct Entry {
@@ -119,29 +161,34 @@ class ShortcutCache {
     }
   };
 
-  void evict_lru();
+  void evict_lru() DHTIDX_REQUIRES(phase_);
 
   /// Moves the entry to the front of its source bucket so find() keeps
   /// returning targets most recently used first.
   void promote_in_bucket(const query::Query* source,
-                         std::list<Entry>::iterator entry_it);
+                         std::list<Entry>::iterator entry_it) DHTIDX_REQUIRES(phase_);
 
   std::unique_ptr<query::QueryInterner> own_interner_;  // set when standalone
   query::QueryInterner* interner_;
   std::size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
+  /// Phase capability over the mutable cache structures: shared while the
+  /// cache is a frozen epoch snapshot (parallel lookup sub-phase, metrics,
+  /// auditor), exclusive for every mutation (serial code, or the one applier
+  /// shard that owns this node during the apply sub-phase).
+  PhaseCapability phase_;
+  std::list<Entry> lru_ DHTIDX_GUARDED_BY(phase_);  // front = most recently used
   // Keyed by interned pointer identity; neither map is ever iterated, so the
   // unordered layout cannot leak into observable (deterministic) behaviour.
   // dhtidx-lint: allow(hot-path-map) "exact-key probes only, never iterated (see comment above)"
   std::unordered_map<std::pair<const query::Query*, const query::Query*>,
                      std::list<Entry>::iterator, PairHash>
-      by_key_;
+      by_key_ DHTIDX_GUARDED_BY(phase_);
   // dhtidx-lint: allow(hot-path-map) "exact-key probes only, never iterated (see comment above)"
   std::unordered_map<const query::Query*, std::vector<std::list<Entry>::iterator>>
-      by_source_;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t invalidations_ = 0;
+      by_source_ DHTIDX_GUARDED_BY(phase_);
+  std::uint64_t bytes_ DHTIDX_GUARDED_BY(phase_) = 0;
+  std::uint64_t evictions_ DHTIDX_GUARDED_BY(phase_) = 0;
+  std::uint64_t invalidations_ DHTIDX_GUARDED_BY(phase_) = 0;
 };
 
 }  // namespace dhtidx::index

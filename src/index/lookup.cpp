@@ -52,7 +52,16 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
         // or departed storage). Drop the entry so later sessions stop jumping
         // into the void, and fall back to the normal walk from where the jump
         // happened.
-        if (IndexNodeState* origin = service_.find_state(jumped_from->first);
+        if (recorder_ != nullptr) {
+          // Frozen-snapshot mode: the jump itself proves the entry existed in
+          // the epoch snapshot, so the invalidation is recorded and charged
+          // unconditionally; the apply sub-phase's erase is a no-op when two
+          // sessions of one epoch invalidate the same entry.
+          recorder_->record_invalidate(jumped_from->first, *jumped_from->second,
+                                       target_msd);
+          ledger.cache.record(net::kMessageOverheadBytes);  // invalidation notice
+          ++outcome.stale_shortcuts;
+        } else if (IndexNodeState* origin = service_.find_state(jumped_from->first);
             origin != nullptr &&
             origin->cache().erase(*jumped_from->second, target_msd)) {
           ledger.cache.record(net::kMessageOverheadBytes);  // invalidation notice
@@ -106,7 +115,11 @@ LookupOutcome LookupEngine::resolve(const Query& initial, const Query& target_ms
         }
       }
       if (hit != nullptr) {
-        cache.touch(*q, target_msd);
+        if (recorder_ != nullptr) {
+          recorder_->record_touch(node, *q, target_msd);
+        } else {
+          cache.touch(*q, target_msd);
+        }
         ledger.cache.record(target_msd.byte_size() + net::kMessageOverheadBytes);
         if (!outcome.cache_hit) {
           outcome.cache_hit = true;
@@ -223,6 +236,14 @@ void LookupEngine::create_shortcuts(const std::vector<std::pair<Id, const Query*
     const auto& [node, q] = asked[i];
     if (*q == target_msd) continue;  // no point shortcutting the MSD to itself
     if (failures != nullptr && failures->is_crashed(node)) continue;  // dead, no cache
+    if (recorder_ != nullptr) {
+      // Frozen-snapshot mode: the install intent is recorded; the apply
+      // sub-phase performs the insert in total order and charges the cache
+      // ledger only for deltas that actually create an entry (mirroring the
+      // insert()-returned-true condition below).
+      recorder_->record_install(node, *q, target_msd);
+      continue;
+    }
     IndexNodeState& state = service_.state_at(node);
     if (state.cache().insert(*q, target_msd)) {
       ledger.cache.record(q->byte_size() + target_msd.byte_size() +

@@ -25,6 +25,31 @@
 
 namespace dhtidx::index {
 
+/// Record-don't-mutate hook for shard-concurrent caching feeds (DESIGN.md
+/// section 15). While attached to a LookupEngine, resolve() treats every
+/// shortcut cache as a frozen read-only snapshot: instead of touching,
+/// installing or erasing entries it reports the intended mutation here, and
+/// the sharded feed replays the recorded deltas against the owning node's
+/// cache -- in the feed's (virtual-time, seq) total order -- during the apply
+/// sub-phase. The queries passed in live for the duration of the call only;
+/// implementations resolve or copy them before returning.
+class CacheDeltaRecorder {
+ public:
+  virtual ~CacheDeltaRecorder() = default;
+
+  /// A cache hit would have promoted (source, target) to most recently used.
+  virtual void record_touch(const Id& node, const query::Query& source,
+                            const query::Query& target) = 0;
+
+  /// Shortcut creation after success would have inserted (source, target).
+  virtual void record_install(const Id& node, const query::Query& source,
+                              const query::Query& target) = 0;
+
+  /// A failed jump would have invalidated the stale (source, target) entry.
+  virtual void record_invalidate(const Id& node, const query::Query& source,
+                                 const query::Query& target) = 0;
+};
+
 /// Lookup behaviour configuration.
 struct LookupConfig {
   CachePolicy policy = CachePolicy::kNone;
@@ -66,6 +91,14 @@ class LookupEngine {
   /// `initial` must cover `target_msd` (the user's query matches the article
   /// they want); otherwise the lookup fails cleanly with found == false.
   LookupOutcome resolve(const query::Query& initial, const query::Query& target_msd);
+
+  /// Attaches (or detaches, with nullptr) the record-don't-mutate hook.
+  /// While set, resolve() performs no cache mutation: hits, installs and
+  /// invalidations are reported to the recorder instead, and the caller is
+  /// responsible for replaying them (and for charging install traffic for
+  /// the deltas that actually create entries). Sequential callers never set
+  /// this; the sharded feed sets one per worker for its lookup sub-phase.
+  void set_cache_recorder(CacheDeltaRecorder* recorder) { recorder_ = recorder; }
 
   /// Failure bookkeeping for one exhaustive search. When branches of the
   /// index tree sat on unreachable nodes the result set is partial
@@ -114,6 +147,7 @@ class LookupEngine {
   IndexService& service_;
   storage::DhtStore& store_;
   LookupConfig config_;
+  CacheDeltaRecorder* recorder_ = nullptr;
 };
 
 }  // namespace dhtidx::index

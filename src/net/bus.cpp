@@ -49,12 +49,18 @@ Message MessageBus::exchange(Message request, const Server& serve) {
 void MessageBus::post(Message message, Applier apply) {
   const std::uint64_t id = next_request_id_++;
   message.request_id = id;
-  // The pending entry keeps a copy of the frame so sync() can retransmit it;
-  // it must exist before send() because the in-process transport applies
-  // synchronously from inside the call.
-  pending_posts_.emplace(id, PendingPost{std::move(apply), message});
+  // The pending entry must exist before send() — the in-process transport
+  // applies synchronously from inside the call and erases it. The frame copy
+  // sync() would retransmit is filled in afterwards, and only when the entry
+  // survived the send: synchronously-applied posts never pay for the copy.
+  pending_posts_.emplace(id, PendingPost{std::move(apply), Message{}});
   ++posts_;
   account(message, transport_.send(message));
+  // Re-find rather than reuse the emplace iterator: appliers running inside
+  // send() may post re-entrantly and rehash the map.
+  if (const auto it = pending_posts_.find(id); it != pending_posts_.end()) {
+    it->second.message = std::move(message);
+  }
 }
 
 void MessageBus::sync() {
@@ -103,8 +109,11 @@ void MessageBus::on_message(const Message& message, std::uint64_t wire_bytes) {
     if (const auto server = servers_.find(id); server != servers_.end()) {
       if (answered_.insert(id).second) {
         Message response = (*server->second)(message);
-        served_responses_[id] = response;
         account(response, transport_.send(response));
+        // Record after the send (send takes a const ref, so the move is
+        // safe): the recorded copy only matters for later duplicate
+        // requests, which cannot arrive from inside this send.
+        served_responses_[id] = std::move(response);
       } else {
         // Duplicate of a request we already served: the peer retransmitted,
         // so our response leg must have been lost — resend the recorded

@@ -8,14 +8,14 @@
 // also what makes sharding sound: any partition of the item space across S
 // workers generates the same items.
 //
-// Execution model (DESIGN.md section 12 has the full rules):
+// Execution model (DESIGN.md sections 12 and 15 have the full rules):
 //
 //  - One shared world. The IndexService (with its query interner), the
 //    DhtStore and the Ring are process-global — per-shard slices would break
 //    `const Query*` identity, the invariant the whole PR 5 hot path rests on.
 //    A shard owns a partition of the *node ids* (position in the sorted
 //    member list modulo S); only the owner ever mutates a node's index
-//    partition or record store.
+//    partition, record store or shortcut cache.
 //  - Build = bulk-synchronous epochs. Each epoch of articles runs three
 //    sub-phases: (produce) S workers synthesize their articles, compute
 //    records, scheme mappings and replica placements, and emit operations
@@ -27,24 +27,39 @@
 //    the nodes they own. vt values are disjoint across producers, so the
 //    merged order is a total order identical to the sequential build's — the
 //    results are bit-identical for every S.
-//  - Feed = embarrassingly parallel sessions. Cacheless (CachePolicy::kNone)
+//  - Cacheless feed = embarrassingly parallel sessions. CachePolicy::kNone
 //    sessions are read-only on all shared state; each worker runs the
 //    sessions with index ≡ worker (mod S), accounts traffic into a private
 //    ledger through net::ScopedLedgerOverride, and the driver folds the
 //    integer accumulators — order-independent, so again bit-identical across
-//    S. Caching policies mutate shared shortcut state per session and are
-//    therefore allowed only at S = 1 (still streaming, still O(live-state)
-//    memory).
+//    S.
+//  - Caching feed = bulk-synchronous query epochs, the build pattern one
+//    level up (DESIGN.md section 15). Each epoch of queries runs (lookup) S
+//    workers serving their session slice read-only against the frozen
+//    shortcut caches, with every intended cache mutation recorded as a
+//    (vt = query index, seq)-tagged delta in per-(worker, owner-shard)
+//    queues; (intern) the driver serially interns queries the deltas
+//    reference that the pool has not seen; (apply) S workers each merge the
+//    delta queues addressed to their shard by (vt, seq) and replay them
+//    against the caches they own. MRU order, LRU evictions, hit ratios and
+//    install traffic follow the same total order for every S — bit-identical
+//    across shard counts, including S = 1 (which runs the identical epoch
+//    code inline).
 //
 // Restrictions (InvariantError otherwise): Ring substrate, in-process
-// transport, no churn; shards > 1 additionally requires CachePolicy::kNone.
+// transport, no churn; shards > 1 additionally requires a streaming world.
 #pragma once
+
+#include <cstdint>
+#include <map>
 
 #include "biblio/stream.hpp"
 #include "index/service.hpp"
+#include "net/stats.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "storage/dht_store.hpp"
+#include "workload/streaming.hpp"
 
 namespace dhtidx::sim {
 
@@ -54,6 +69,37 @@ namespace dhtidx::sim {
 void build_streaming_world(const SimulationConfig& config, dht::Dht& dht,
                            index::IndexService& service, storage::DhtStore& store,
                            const biblio::ArticleStream& stream);
+
+/// Aggregated feed-phase measurements: the exact integer fold of the
+/// per-worker accumulators plus the apply sub-phase's install traffic.
+struct FeedTotals {
+  std::uint64_t interactions = 0;
+  std::uint64_t generalizations = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t first_node_hits = 0;
+  std::uint64_t rpc_failures = 0;
+  std::size_t failed_lookups = 0;
+  std::size_t non_indexed = 0;
+  std::size_t degraded = 0;
+  std::size_t gave_up = 0;
+  std::size_t unreachable = 0;
+  std::size_t stale_shortcuts = 0;
+  /// Unique-node touch counts per session, summed; iterated in sorted Id
+  /// order when the driver derives node_load_fractions.
+  // dhtidx-lint: allow(hot-path-map) "merged once per feed, never touched per query; sorted iteration drives deterministic load fractions"
+  std::map<Id, std::uint64_t> node_touches;
+  net::TrafficLedger ledger;  ///< all feed traffic (worker + apply charges)
+};
+
+/// Runs the query feed over an already-built streaming world with
+/// config.shards workers: one read-only parallel pass for cacheless
+/// policies, bulk-synchronous lookup/intern/apply query epochs for caching
+/// policies. Exposed so tests can audit the cache state of a sharded cached
+/// world directly (run_streaming_simulation composes build + feed).
+FeedTotals feed_streaming_world(const SimulationConfig& config, dht::Dht& dht,
+                                index::IndexService& service,
+                                storage::DhtStore& store,
+                                const workload::StreamingWorkload& workload);
 
 /// Runs one streaming (optionally shard-concurrent) cell end to end.
 /// run_simulation dispatches here when config.streaming or config.shards > 1;

@@ -196,6 +196,7 @@ SimulationResults run_simulation(const SimulationConfig& config,
   std::uint64_t total_generalizations = 0;
   std::uint64_t hits = 0;
   std::uint64_t first_node_hits = 0;
+  // dhtidx-lint: allow(hot-path-map) "touched once per visited node per session, not per delta; sorted iteration drives deterministic load fractions"
   std::map<Id, std::uint64_t> node_touches;
 
   // --- churn schedule --------------------------------------------------------

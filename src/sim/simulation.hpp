@@ -126,11 +126,14 @@ struct SimulationConfig {
 
   /// Shard-concurrent execution of a streaming world: node ids are
   /// partitioned across `shards` worker threads; articles and feed sessions
-  /// are partitioned round-robin; cross-shard build operations travel
-  /// through per-(producer, owner-shard) queues drained in (virtual-time,
-  /// seq) order. Results are bit-identical across shard counts (the --jobs
-  /// guarantee, one level deeper). 0 or 1 = single-threaded. Values > 1
-  /// additionally require streaming = true and CachePolicy::kNone.
+  /// are partitioned round-robin; cross-shard build operations — and, for
+  /// caching policies, the feed's recorded shortcut-cache deltas — travel
+  /// through per-(worker, owner-shard) queues drained in (virtual-time, seq)
+  /// order. Results are bit-identical across shard counts (the --jobs
+  /// guarantee, one level deeper); caching feeds run in bulk-synchronous
+  /// query epochs for every shard count, including 1 (sim/sharded.hpp).
+  /// 0 or 1 = single-threaded. Values > 1 additionally require
+  /// streaming = true.
   std::size_t shards = 1;
 };
 

@@ -1,0 +1,7 @@
+// Fixture: hot-path-map flags node-based maps in src/sim (PR 10 extended
+// the policed set to the feed path: a per-query map in a delta queue is the
+// allocation pattern the epoch design exists to avoid).
+#include <map>
+#include <string>
+
+std::map<std::string, int> g_per_query_delta_index;

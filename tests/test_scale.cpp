@@ -168,17 +168,57 @@ TEST(ShardedSimulation, SingleShardCachingPolicyRunsAndRepeats) {
   EXPECT_GT(first.avg_cached_keys_per_node, 0.0);
 }
 
+TEST(ShardedSimulation, CachedResultsBitIdenticalAcrossShardCounts) {
+  // The PR 10 contract: caching feeds (bulk-synchronous query epochs) keep
+  // every cache metric — MRU order via hits, LRU evictions via occupancy,
+  // install traffic via the ledger — bit-identical across shard counts.
+  // Both an unbounded multi-placement policy and a capacity-bounded LRU
+  // (the eviction-heavy case) are pinned.
+  for (const auto& [policy, capacity] :
+       {std::pair<index::CachePolicy, std::size_t>{index::CachePolicy::kMulti, 0},
+        {index::CachePolicy::kLru, 10}}) {
+    const SimulationResults one = run_simulation(streaming_config(1, policy, capacity));
+    const SimulationResults two = run_simulation(streaming_config(2, policy, capacity));
+    const SimulationResults four = run_simulation(streaming_config(4, policy, capacity));
+    expect_identical(one, two);
+    expect_identical(one, four);
+    // The caches did something: hits happened and shortcuts were installed.
+    EXPECT_GT(one.hit_ratio, 0.0);
+    EXPECT_GT(one.avg_cached_keys_per_node, 0.0);
+    EXPECT_GT(one.cache_traffic_per_query, 0.0);
+  }
+}
+
+TEST(ShardedSimulation, EpochBoundaryHammer) {
+  // Many feed epochs (6000 queries / 1024 per epoch), max shard fan-out, the
+  // policy exercising the full delta taxonomy (multi-placement installs,
+  // touches, evictions). Primarily a TSan target: the CI sanitizer build
+  // runs this to hammer the lookup/intern/apply phase boundaries.
+  const SimulationConfig base = streaming_config(4, index::CachePolicy::kLruMulti, 8);
+  SimulationConfig config = base;
+  config.queries = 6000;
+  const SimulationResults sharded = run_simulation(config);
+  SimulationConfig single = config;
+  single.shards = 1;
+  expect_identical(sharded, run_simulation(single));
+  EXPECT_GT(sharded.hit_ratio, 0.0);
+}
+
 TEST(ShardedSimulation, SweepJsonBitIdenticalAcrossShards) {
   // The per-cell sweep JSON must not leak the shard count or any wall-clock
   // reading. Strip the volatile timing/memory fields (documented as
   // machine-dependent) and require the rest of the line to match byte for
-  // byte.
+  // byte. The cell set mirrors a slice of the fig13 policy ladder: a
+  // cacheless cell, a second scheme, and two caching cells (the PR 10
+  // hard gate).
   const auto sweep_line = [](std::size_t shards) {
     std::vector<SimulationConfig> cells;
     cells.push_back(streaming_config(shards));
     SimulationConfig flat = streaming_config(shards);
     flat.scheme = index::SchemeKind::kFlat;
     cells.push_back(flat);
+    cells.push_back(streaming_config(shards, index::CachePolicy::kMulti, 0));
+    cells.push_back(streaming_config(shards, index::CachePolicy::kLru, 10));
     SweepOptions options;
     options.jobs = 1;
     const SweepSummary summary = SweepRunner{options}.run(cells);
@@ -217,15 +257,37 @@ TEST(ShardedSimulation, ShardedBuildPassesFullAudit) {
   EXPECT_GT(store.total_bytes(), 0u);
 }
 
+TEST(ShardedSimulation, ShardedCachedWorldPassesFullAudit) {
+  // Audit a shard-concurrent *cached* world directly (independent of the
+  // DHTIDX_AUDIT compile hooks): after the epoch-based feed has installed,
+  // touched and evicted shortcuts concurrently, every invariant — covering,
+  // reachability, placement, replica consistency, cache coherence, ledger
+  // arithmetic — must hold on the final state.
+  SimulationConfig config = streaming_config(3, index::CachePolicy::kLruMulti, 8);
+  config.replication = 2;
+  dht::Ring ring = dht::Ring::with_nodes(config.nodes);
+  net::TrafficLedger ledger;
+  storage::DhtStore store{ring, ledger, config.replication};
+  index::IndexService service{ring, ledger, config.cache_capacity, config.replication};
+  const biblio::ArticleStream stream{config.corpus};
+  build_streaming_world(config, ring, service, store, stream);
+  const workload::StreamingWorkload workload{stream, config.seed};
+  const FeedTotals feed = feed_streaming_world(config, ring, service, store, workload);
+  EXPECT_GT(feed.hits, 0u);
+  EXPECT_GT(feed.ledger.cache.bytes(), 0u);
+
+  const index::IndexingScheme scheme = index::IndexingScheme::make(config.scheme);
+  audit::Options options;
+  options.scheme = &scheme;
+  EXPECT_NO_THROW(
+      audit::audit_or_throw("sharded-cached-feed", ring, service, store, options));
+}
+
 TEST(ShardedSimulation, RejectsUnsupportedConfigurations) {
   // Sharded without streaming: the sharded core only runs streaming worlds.
   SimulationConfig sharded_materialized = streaming_config(2);
   sharded_materialized.streaming = false;
   EXPECT_THROW(run_simulation(sharded_materialized), InvariantError);
-
-  // Sharded with a caching policy: sessions would race on shortcut state.
-  EXPECT_THROW(run_simulation(streaming_config(2, index::CachePolicy::kLru, 10)),
-               InvariantError);
 
   // Streaming on a non-ring substrate.
   SimulationConfig chord = streaming_config(1);
